@@ -1,0 +1,237 @@
+package stencilmart
+
+import (
+	"io"
+
+	"stencilmart/internal/baseline"
+	"stencilmart/internal/codegen"
+	"stencilmart/internal/core"
+	"stencilmart/internal/cpukernel"
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/tensor"
+	"stencilmart/internal/tuner"
+)
+
+// Stencil is an access pattern: the set of relative offsets a stencil
+// computation reads to update one grid point.
+type Stencil = stencil.Stencil
+
+// Point is a relative grid offset.
+type Point = stencil.Point
+
+// Grid is a dense CPU grid for the reference executor.
+type Grid = stencil.Grid
+
+// Coefficients weight the stencil offsets in the reference executor.
+type Coefficients = stencil.Coefficients
+
+// Shape classifies classic stencil geometries.
+type Shape = stencil.Shape
+
+// Arch is a GPU architecture (Table III entry).
+type Arch = gpu.Arch
+
+// Opt is a bitmask of enabled stencil optimizations (Table I).
+type Opt = opt.Opt
+
+// Params is one tunable parameter setting for a kernel under an OC.
+type Params = opt.Params
+
+// Workload is one stencil execution problem on the simulated GPU.
+type Workload = sim.Workload
+
+// SimResult is one simulated kernel execution.
+type SimResult = sim.Result
+
+// Dataset is a profiled stencil corpus.
+type Dataset = profile.Dataset
+
+// Instance is one profiled (stencil, OC, params, GPU, time) sample.
+type Instance = profile.Instance
+
+// Config sizes the StencilMART pipeline.
+type Config = core.Config
+
+// Framework is a built StencilMART instance.
+type Framework = core.Framework
+
+// ClassifierKind selects an OC-selection mechanism (GBDT/ConvNet/FcNet).
+type ClassifierKind = core.ClassifierKind
+
+// RegressorKind selects a performance-prediction mechanism
+// (GBRegressor/MLP/ConvMLP).
+type RegressorKind = core.RegressorKind
+
+// RentReport is the outcome of the cloud-rental case study.
+type RentReport = core.RentReport
+
+// Strategy is a baseline tuning framework (Artemis, AN5D).
+type Strategy = baseline.Strategy
+
+// Binary is the assigned binary tensor of a stencil (Fig. 6).
+type Binary = tensor.Binary
+
+// Optimization flags (Table I).
+const (
+	ST = opt.ST
+	TB = opt.TB
+	BM = opt.BM
+	CM = opt.CM
+	RT = opt.RT
+	PR = opt.PR
+)
+
+// Classification mechanisms (Sec. IV-D).
+const (
+	ClassGBDT    = core.ClassGBDT
+	ClassConvNet = core.ClassConvNet
+	ClassFcNet   = core.ClassFcNet
+)
+
+// Regression mechanisms (Sec. IV-E).
+const (
+	RegGB      = core.RegGB
+	RegMLP     = core.RegMLP
+	RegConvMLP = core.RegConvMLP
+)
+
+// Classic shape constructors.
+var (
+	// Star builds the axis-aligned star stencil of the given
+	// dimensionality (2 or 3) and order.
+	Star = stencil.Star
+	// Box builds the full Chebyshev-ball box stencil.
+	Box = stencil.Box
+	// Cross builds the diagonal cross stencil.
+	Cross = stencil.Cross
+	// StencilByName parses identifiers such as "star2d1r" or "box3d4r".
+	StencilByName = stencil.ByName
+	// NewStencil builds a canonicalized stencil from raw offsets.
+	NewStencil = stencil.New
+)
+
+// Reference CPU execution of stencils on dense grids.
+var (
+	// NewGrid allocates a zeroed dense grid (nz == 1 for 2-D).
+	NewGrid = stencil.NewGrid
+	// Apply runs one serial stencil sweep.
+	Apply = stencil.Apply
+	// ApplyParallel runs one sweep split across CPU cores.
+	ApplyParallel = stencil.ApplyParallel
+	// ApplySteps runs multiple sweeps, ping-ponging buffers.
+	ApplySteps = stencil.ApplySteps
+	// UniformCoefficients returns the 1/n smoothing kernel.
+	UniformCoefficients = stencil.UniformCoefficients
+)
+
+// GPUCatalog returns the four GPUs of Table III.
+func GPUCatalog() []Arch { return gpu.Catalog() }
+
+// GPUByName looks up a Table III GPU by name.
+func GPUByName(name string) (Arch, error) { return gpu.ByName(name) }
+
+// Combinations enumerates all 30 valid optimization combinations.
+func Combinations() []Opt { return opt.Combinations() }
+
+// ParseOC parses an OC name such as "ST_RT_PR" or "BASE".
+func ParseOC(name string) (Opt, error) { return opt.Parse(name) }
+
+// AssignTensor rasterizes a stencil into its binary tensor (Fig. 6).
+func AssignTensor(s Stencil) (Binary, error) { return tensor.Assign(s) }
+
+// Features extracts the Table II candidate feature set.
+func Features(s Stencil) []float64 { return tensor.Features(s) }
+
+// GenerateStencils produces n random neighbor-chained stencils
+// (Algorithm 1) of the given dimensionality.
+func GenerateStencils(dims, n, maxOrder int, seed int64) ([]Stencil, error) {
+	g, err := gen.New(gen.Options{Dims: dims, MaxOrder: maxOrder}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return g.Corpus(n), nil
+}
+
+// DefaultWorkload wraps a stencil with the paper's grid sizes (8192^2 or
+// 512^3) and default sweep count.
+func DefaultWorkload(s Stencil) Workload { return sim.DefaultWorkload(s) }
+
+// Simulate runs one kernel configuration on the simulated architecture.
+func Simulate(w Workload, oc Opt, p Params, arch Arch) (SimResult, error) {
+	return sim.New().Run(w, oc, p, arch)
+}
+
+// DefaultConfig returns the seconds-scale pipeline configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PaperConfig returns the larger laptop-scale preset.
+func PaperConfig() Config { return core.PaperConfig() }
+
+// Build runs corpus generation, profiling and OC merging, returning a
+// framework ready for training and evaluation.
+func Build(cfg Config) (*Framework, error) { return core.Build(cfg) }
+
+// FromDataset assembles a framework around a dataset loaded from disk.
+func FromDataset(cfg Config, ds *Dataset) (*Framework, error) {
+	return core.FromDataset(cfg, ds, nil)
+}
+
+// ReadDataset deserializes a profiled dataset.
+func ReadDataset(r io.Reader) (*Dataset, error) { return profile.ReadJSON(r) }
+
+// Baseline strategies (Sec. V-B2).
+var (
+	// Artemis is the high-impact-first greedy tuner emulation.
+	Artemis Strategy = baseline.Artemis{}
+	// AN5D is the streaming + high-degree temporal blocking emulation.
+	AN5D Strategy = baseline.AN5D{}
+)
+
+// Kernel is generated CUDA source for one configuration.
+type Kernel = codegen.Kernel
+
+// GenerateKernel emits CUDA C source for a stencil under an OC and
+// parameter setting, making predictions actionable as code.
+func GenerateKernel(s Stencil, oc Opt, p Params) (Kernel, error) {
+	return codegen.Generate(s, oc, p)
+}
+
+// KernelVariant is a CPU-executable optimization scheme.
+type KernelVariant = cpukernel.Variant
+
+// KernelOptions tunes the transformed CPU loops.
+type KernelOptions = cpukernel.Options
+
+// CPU-executable optimization variants; each computes results identical
+// to the naive executor (verified by the cpukernel tests).
+const (
+	VariantNaive        = cpukernel.VariantNaive
+	VariantTiled        = cpukernel.VariantTiled
+	VariantBlockMerged  = cpukernel.VariantBlockMerged
+	VariantCyclicMerged = cpukernel.VariantCyclicMerged
+	VariantStreaming    = cpukernel.VariantStreaming
+	VariantTemporal     = cpukernel.VariantTemporal
+)
+
+// RunVariant executes sweeps of the stencil with the chosen CPU variant.
+func RunVariant(v KernelVariant, s Stencil, coeffs Coefficients, in *Grid, steps int, opts KernelOptions) (*Grid, error) {
+	return cpukernel.Run(v, s, coeffs, in, steps, opts)
+}
+
+// Tuner searches one OC's parameter space under an evaluation budget.
+type Tuner = tuner.Tuner
+
+// TuneResult is a parameter-search outcome.
+type TuneResult = tuner.Result
+
+// Parameter-search strategies: the paper pipeline's random search and a
+// csTuner-style genetic algorithm (paper reference [25]).
+var (
+	RandomTuner  Tuner = tuner.Random{}
+	GeneticTuner Tuner = tuner.Genetic{}
+)

@@ -1,0 +1,440 @@
+// Command stencilmart is the command-line interface to the StencilMART
+// reproduction: random stencil generation, corpus profiling on the
+// simulated GPUs, best-OC prediction, the cloud-rental advisor, and the
+// paper's experiment suite.
+//
+// Usage:
+//
+//	stencilmart gen        -dims 2 -n 10 -seed 1
+//	stencilmart profile    -out dataset.json [-preset paper]
+//	stencilmart predict    -dataset dataset.json -stencil star2d2r -gpu V100
+//	stencilmart rent       -dataset dataset.json -dims 2 [-cost]
+//	stencilmart simulate   -stencil box3d2r -gpu A100 -oc ST_RT_PR
+//	stencilmart experiment -id fig9 [-preset paper]
+//	stencilmart experiment -id all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"stencilmart/internal/codegen"
+	"stencilmart/internal/core"
+	"stencilmart/internal/experiments"
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/tensor"
+	"stencilmart/internal/tuner"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "rent":
+		err = cmdRent(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "codegen":
+		err = cmdCodegen(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stencilmart: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stencilmart:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `stencilmart - optimization selection for stencil computations across GPUs
+
+commands:
+  gen         generate random neighbor-chained stencils (Algorithm 1)
+  profile     profile a random corpus on every GPU and write the dataset
+  predict     predict the best optimization combination for a stencil
+  rent        run the cloud-rental advisor (pure performance or cost)
+  simulate    run one kernel configuration on the simulated GPU
+  codegen     emit the CUDA kernel source for a stencil under an OC
+  tune        search an OC's parameter space (random or genetic)
+  experiment  regenerate a paper table/figure (table1-3, fig1-4, fig9-15, all)
+
+run 'stencilmart <command> -h' for command flags`)
+}
+
+// configFromPreset maps -preset to a pipeline configuration.
+func configFromPreset(preset string, seed int64) (core.Config, error) {
+	var cfg core.Config
+	switch preset {
+	case "default", "":
+		cfg = core.DefaultConfig()
+	case "paper":
+		cfg = core.PaperConfig()
+	default:
+		return core.Config{}, fmt.Errorf("unknown preset %q (default, paper)", preset)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return cfg, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dims := fs.Int("dims", 2, "stencil dimensionality (2 or 3)")
+	n := fs.Int("n", 10, "number of stencils")
+	maxOrder := fs.Int("order", stencil.MaxOrder, "maximum stencil order")
+	seed := fs.Int64("seed", 1, "generator seed")
+	showTensor := fs.Bool("tensor", false, "print the assigned binary tensor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := gen.New(gen.Options{Dims: *dims, MaxOrder: *maxOrder}, *seed)
+	if err != nil {
+		return err
+	}
+	for _, s := range g.Corpus(*n) {
+		fmt.Printf("%s points=%v\n", s, s.Points)
+		if *showTensor {
+			printTensor(s)
+		}
+	}
+	return nil
+}
+
+func printTensor(s stencil.Stencil) {
+	b := tensor.MustAssign(s)
+	if s.Dims == 3 {
+		fmt.Println("  (3-D tensor; printing central z-plane)")
+	}
+	const side = tensor.Side
+	zOff := 0
+	if s.Dims == 3 {
+		zOff = (side / 2) * side * side
+	}
+	for y := 0; y < side; y++ {
+		fmt.Print("  ")
+		for x := 0; x < side; x++ {
+			if b.Data[zOff+y*side+x] != 0 {
+				fmt.Print("# ")
+			} else {
+				fmt.Print(". ")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	out := fs.String("out", "dataset.json", "output dataset path")
+	preset := fs.String("preset", "default", "pipeline preset (default, paper)")
+	seed := fs.Int64("seed", 0, "override pipeline seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFromPreset(*preset, *seed)
+	if err != nil {
+		return err
+	}
+	corpus, err := gen.MixedCorpus(cfg.Corpus2D, cfg.Corpus3D, cfg.MaxOrder, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiling %d stencils x %d GPUs x %d OCs x %d settings...\n",
+		len(corpus), len(gpu.Catalog()), opt.NumCombinations, cfg.SamplesPerOC)
+	p := profile.NewProfiler(cfg.SamplesPerOC, cfg.Seed+1000)
+	ds, err := p.Collect(corpus, gpu.Catalog())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d stencils, %d instances\n", *out, len(ds.Stencils), len(ds.Instances))
+	return nil
+}
+
+// loadFramework builds a framework from -dataset (or from scratch).
+func loadFramework(path, preset string, seed int64) (*core.Framework, error) {
+	cfg, err := configFromPreset(preset, seed)
+	if err != nil {
+		return nil, err
+	}
+	if path == "" {
+		fmt.Println("no -dataset given; building a fresh corpus (this profiles everything)...")
+		return core.Build(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := profile.ReadJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromDataset(cfg, ds, nil)
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	dataset := fs.String("dataset", "", "profiled dataset (from 'profile'); empty = build fresh")
+	name := fs.String("stencil", "star2d1r", "classic stencil name (e.g. box3d2r)")
+	gpuName := fs.String("gpu", "V100", "target GPU")
+	mech := fs.String("mechanism", "GBDT", "classifier (GBDT, ConvNet, FcNet)")
+	preset := fs.String("preset", "default", "pipeline preset")
+	seed := fs.Int64("seed", 0, "override pipeline seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := loadFramework(*dataset, *preset, *seed)
+	if err != nil {
+		return err
+	}
+	s, err := stencil.ByName(*name)
+	if err != nil {
+		return err
+	}
+	kind, err := parseClassifier(*mech)
+	if err != nil {
+		return err
+	}
+	oc, err := fw.PredictBestOCForStencil(kind, *gpuName, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted best OC for %s on %s: %s\n", s, *gpuName, oc)
+
+	// Show what the prediction achieves against the simulator.
+	arch, err := gpu.ByName(*gpuName)
+	if err != nil {
+		return err
+	}
+	m := sim.New()
+	w := sim.DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(7))
+	var settings []opt.Params
+	for i := 0; i < 32; i++ {
+		settings = append(settings, opt.Sample(oc, s.Dims, rng))
+	}
+	best, bestP, err := m.BestOf(w, oc, settings, arch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best sampled setting: %+v\n", bestP)
+	fmt.Printf("simulated time for %d sweeps: %.3f ms (occupancy %.0f%%)\n",
+		w.TimeSteps, best.Time*1e3, best.Occupancy*100)
+	return nil
+}
+
+func parseClassifier(name string) (core.ClassifierKind, error) {
+	switch name {
+	case "GBDT":
+		return core.ClassGBDT, nil
+	case "ConvNet":
+		return core.ClassConvNet, nil
+	case "FcNet":
+		return core.ClassFcNet, nil
+	default:
+		return 0, fmt.Errorf("unknown classifier %q (GBDT, ConvNet, FcNet)", name)
+	}
+}
+
+func cmdRent(args []string) error {
+	fs := flag.NewFlagSet("rent", flag.ExitOnError)
+	dataset := fs.String("dataset", "", "profiled dataset; empty = build fresh")
+	dims := fs.Int("dims", 2, "stencil dimensionality")
+	cost := fs.Bool("cost", false, "optimize cost efficiency instead of pure performance")
+	preset := fs.String("preset", "default", "pipeline preset")
+	seed := fs.Int64("seed", 0, "override pipeline seed")
+	evals := fs.Int("evals", 12, "evaluation instances per held-out stencil")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := loadFramework(*dataset, *preset, *seed)
+	if err != nil {
+		return err
+	}
+	rep, err := fw.RentStudy(core.RegGB, *dims, *cost, *evals)
+	if err != nil {
+		return err
+	}
+	metric := "pure performance"
+	if *cost {
+		metric = "cost efficiency"
+	}
+	fmt.Printf("rental advisor (%d-D stencils, %s, %d instances):\n", *dims, metric, rep.Instances)
+	for i, name := range rep.ArchNames {
+		fmt.Printf("  %-7s wins %5.1f%% of instances (prediction accuracy %.0f%%)\n",
+			name, rep.Share[i]*100, rep.Accuracy[i]*100)
+	}
+	fmt.Printf("overall winner-prediction accuracy: %.1f%%\n", rep.Overall*100)
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	name := fs.String("stencil", "star2d1r", "classic stencil name")
+	gpuName := fs.String("gpu", "V100", "target GPU")
+	ocName := fs.String("oc", "ST", "optimization combination (e.g. ST_RT_PR, BASE)")
+	samples := fs.Int("samples", 32, "random parameter settings to search")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := stencil.ByName(*name)
+	if err != nil {
+		return err
+	}
+	arch, err := gpu.ByName(*gpuName)
+	if err != nil {
+		return err
+	}
+	oc, err := opt.Parse(*ocName)
+	if err != nil {
+		return err
+	}
+	if err := oc.ValidationError(); err != nil {
+		return err
+	}
+	m := sim.New()
+	w := sim.DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(*seed))
+	var settings []opt.Params
+	for i := 0; i < *samples; i++ {
+		settings = append(settings, opt.Sample(oc, s.Dims, rng))
+	}
+	best, bestP, err := m.BestOf(w, oc, settings, arch)
+	if err != nil {
+		return fmt.Errorf("every sampled setting failed (OC crashes for this stencil): %w", err)
+	}
+	fmt.Printf("%s under %s on %s (%d sweeps of %dx%dx%d):\n",
+		s, oc, arch.Name, w.TimeSteps, w.GridX, w.GridY, w.GridZ)
+	fmt.Printf("  best of %d settings: %.3f ms\n", *samples, best.Time*1e3)
+	fmt.Printf("  breakdown: compute=%.3fms memory=%.3fms sync=%.3fms launch=%.3fms\n",
+		best.Compute*1e3, best.Memory*1e3, best.Sync*1e3, best.Launch*1e3)
+	fmt.Printf("  occupancy=%.0f%% regs/thread=%.0f smem/block=%.1fKiB\n",
+		best.Occupancy*100, best.RegsPerThread, best.SmemPerBlockKB)
+	fmt.Printf("  winning params: %+v\n", bestP)
+	return nil
+}
+
+func cmdCodegen(args []string) error {
+	fs := flag.NewFlagSet("codegen", flag.ExitOnError)
+	name := fs.String("stencil", "star2d1r", "classic stencil name")
+	ocName := fs.String("oc", "ST", "optimization combination")
+	seed := fs.Int64("seed", 1, "parameter sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := stencil.ByName(*name)
+	if err != nil {
+		return err
+	}
+	oc, err := opt.Parse(*ocName)
+	if err != nil {
+		return err
+	}
+	if err := oc.ValidationError(); err != nil {
+		return err
+	}
+	p := opt.Sample(oc, s.Dims, rand.New(rand.NewSource(*seed)))
+	k, err := codegen.Generate(s, oc, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("// launch: block (%d, %d), dynamic shared memory %d bytes\n",
+		k.LaunchBounds[0], k.LaunchBounds[1], k.SmemBytes)
+	fmt.Print(k.Source)
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	name := fs.String("stencil", "box3d2r", "classic stencil name")
+	gpuName := fs.String("gpu", "V100", "target GPU")
+	ocName := fs.String("oc", "ST_TB", "optimization combination")
+	budget := fs.Int("budget", 48, "evaluation budget")
+	strategy := fs.String("strategy", "genetic", "search strategy (random, genetic)")
+	seed := fs.Int64("seed", 1, "search seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := stencil.ByName(*name)
+	if err != nil {
+		return err
+	}
+	arch, err := gpu.ByName(*gpuName)
+	if err != nil {
+		return err
+	}
+	oc, err := opt.Parse(*ocName)
+	if err != nil {
+		return err
+	}
+	var tn tuner.Tuner
+	switch *strategy {
+	case "random":
+		tn = tuner.Random{}
+	case "genetic":
+		tn = tuner.Genetic{}
+	default:
+		return fmt.Errorf("unknown strategy %q (random, genetic)", *strategy)
+	}
+	res, err := tn.Tune(sim.New(), sim.DefaultWorkload(s), oc, arch, *budget, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s tuner: %s under %s on %s\n", tn.Name(), s.Name, oc, arch.Name)
+	fmt.Printf("  best time %.3f ms in %d evaluations\n", res.Time*1e3, res.Evaluations)
+	fmt.Printf("  params: %+v\n", res.Params)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "all", "experiment id (table1-3, fig1-4, fig9-15, all)")
+	preset := fs.String("preset", "default", "pipeline preset")
+	seed := fs.Int64("seed", 0, "override pipeline seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFromPreset(*preset, *seed)
+	if err != nil {
+		return err
+	}
+	r := experiments.New(cfg, os.Stdout)
+	if *id == "all" {
+		return r.RunAll()
+	}
+	return r.Run(*id)
+}

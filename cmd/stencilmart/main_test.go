@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"stencilmart/internal/core"
+)
+
+func TestConfigFromPreset(t *testing.T) {
+	cfg, err := configFromPreset("default", 0)
+	if err != nil || cfg.Corpus2D != core.DefaultConfig().Corpus2D {
+		t.Errorf("default preset: %+v, %v", cfg, err)
+	}
+	cfg, err = configFromPreset("paper", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Corpus2D != core.PaperConfig().Corpus2D {
+		t.Errorf("paper preset corpus %d", cfg.Corpus2D)
+	}
+	if cfg.Seed != 99 {
+		t.Errorf("seed override not applied: %d", cfg.Seed)
+	}
+	if _, err := configFromPreset("huge", 0); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	// Empty preset behaves like default.
+	if _, err := configFromPreset("", 0); err != nil {
+		t.Errorf("empty preset rejected: %v", err)
+	}
+}
+
+func TestParseClassifier(t *testing.T) {
+	cases := map[string]core.ClassifierKind{
+		"GBDT": core.ClassGBDT, "ConvNet": core.ClassConvNet, "FcNet": core.ClassFcNet,
+	}
+	for name, want := range cases {
+		got, err := parseClassifier(name)
+		if err != nil || got != want {
+			t.Errorf("parseClassifier(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseClassifier("SVM"); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Cross-architecture prediction: estimate how a stencil kernel would
+// perform on GPUs you cannot access (Sec. IV-E).
+//
+// The example trains the performance regressor on the profiled corpus,
+// then — for a held-out configuration — predicts the execution time on
+// every Table III GPU and compares against the simulation substrate's
+// ground truth, mimicking a user who measured locally on one GPU and
+// wants the others' numbers before renting.
+//
+// Run with: go run ./examples/crossarch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"stencilmart"
+)
+
+func main() {
+	cfg := stencilmart.DefaultConfig()
+	cfg.Corpus2D, cfg.Corpus3D = 35, 25
+	fmt.Println("building StencilMART and training the GBRegressor on all GPUs' instances...")
+	fw, err := stencilmart.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on every 2-D instance in the dataset.
+	var train []stencilmart.Instance
+	for _, in := range fw.Dataset.Instances {
+		if fw.Dataset.Stencils[in.StencilIdx].Dims == 2 {
+			train = append(train, in)
+		}
+	}
+	if len(train) > 8000 {
+		train = train[:8000]
+	}
+	reg, err := fw.TrainRegressor(stencilmart.RegGB, 2, train, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a corpus stencil and a fresh configuration to "measure".
+	si := fw.StencilIndices(2)[0]
+	s := fw.Dataset.Stencils[si]
+	oc, err := stencilmart.ParseOC("ST_RT_PR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := stencilmart.Params{
+		BlockX: 64, BlockY: 4, Merge: 1, Unroll: 2,
+		StreamTile: 64, StreamDim: 2, UseSmem: true, PrefetchDepth: 1,
+	}
+	w := stencilmart.DefaultWorkload(s)
+
+	fmt.Printf("\nstencil %s under %s, blocks %dx%d, tile %d:\n", s.Name, oc, p.BlockX, p.BlockY, p.StreamTile)
+	fmt.Printf("%-8s %12s %12s %8s\n", "GPU", "predicted", "measured", "error")
+	var errs []float64
+	for _, arch := range stencilmart.GPUCatalog() {
+		pred, err := reg.PredictSeconds(stencilmart.Instance{
+			StencilIdx: si, OC: oc, Params: p, Arch: arch.Name,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := stencilmart.Simulate(w, oc, p, arch)
+		if err != nil {
+			fmt.Printf("%-8s %12s %12s %8s\n", arch.Name, fmtMS(pred), "crash", "-")
+			continue
+		}
+		e := math.Abs(pred-truth.Time) / truth.Time
+		errs = append(errs, e)
+		fmt.Printf("%-8s %12s %12s %7.1f%%\n", arch.Name, fmtMS(pred), fmtMS(truth.Time), e*100)
+	}
+	var mean float64
+	for _, e := range errs {
+		mean += e
+	}
+	fmt.Printf("mean absolute percentage error: %.1f%%\n", mean/float64(len(errs))*100)
+
+	// Use the predictions the way the paper's case study does: pick the
+	// cheapest adequate GPU for a batch of 10k sweeps.
+	fmt.Println("\ncost of 10,000 sweeps at cloud prices, by prediction:")
+	for _, arch := range stencilmart.GPUCatalog() {
+		if !arch.HasRental() {
+			continue
+		}
+		pred, err := reg.PredictSeconds(stencilmart.Instance{StencilIdx: si, OC: oc, Params: p, Arch: arch.Name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hours := pred / float64(w.TimeSteps) * 10000 / 3600
+		fmt.Printf("  %-7s %.2f hours -> $%.2f\n", arch.Name, hours, hours*arch.RentalPerHour)
+	}
+}
+
+func fmtMS(sec float64) string { return fmt.Sprintf("%.3fms", sec*1e3) }

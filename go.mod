@@ -1,0 +1,3 @@
+module stencilmart
+
+go 1.22

@@ -1,0 +1,21 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+func BenchmarkGenerateStreamingKernel(b *testing.B) {
+	s := stencil.Box(3, 2)
+	rng := rand.New(rand.NewSource(1))
+	p := opt.Sample(opt.ST|opt.TB|opt.PR, 3, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(s, opt.ST|opt.TB|opt.PR, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

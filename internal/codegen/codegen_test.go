@@ -1,0 +1,176 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+func baseParams() opt.Params {
+	return opt.Params{BlockX: 64, BlockY: 4, Merge: 1, Unroll: 1}
+}
+
+func TestGenerateBaseKernel(t *testing.T) {
+	s := stencil.Star(2, 1)
+	k, err := Generate(s, 0, baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"__global__", "__launch_bounds__(256)", "star2d1r_base_kernel",
+		"#define ORDER 1", "double acc = 0.0;", "coeff[0]", "coeff[4]",
+	} {
+		if !strings.Contains(k.Source, want) {
+			t.Errorf("source missing %q:\n%s", want, k.Source)
+		}
+	}
+	if strings.Contains(k.Source, "__syncthreads") {
+		t.Error("BASE kernel contains barriers")
+	}
+	if strings.Contains(k.Source, "__shared__") || k.SmemBytes != 0 {
+		t.Error("BASE kernel uses shared memory")
+	}
+	if k.LaunchBounds != [2]int{64, 4} {
+		t.Errorf("launch bounds %v", k.LaunchBounds)
+	}
+	// One accumulate line per stencil point.
+	if got := strings.Count(k.Source, "acc += coeff["); got != s.NumPoints() {
+		t.Errorf("%d accumulate lines for %d points", got, s.NumPoints())
+	}
+}
+
+func TestGenerateStreamingSmemKernel(t *testing.T) {
+	p := opt.Params{BlockX: 32, BlockY: 8, Merge: 1, Unroll: 2,
+		StreamTile: 64, StreamDim: 3, UseSmem: true}
+	k, err := Generate(stencil.Box(3, 2), opt.ST, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"extern __shared__ double plane[]",
+		"__syncthreads()",
+		"#pragma unroll 2",
+		"for (int s = 0; s < 64; ++s)",
+		"int nz",
+	} {
+		if !strings.Contains(k.Source, want) {
+			t.Errorf("source missing %q", want)
+		}
+	}
+	if k.SmemBytes == 0 {
+		t.Error("smem kernel reports zero shared memory")
+	}
+}
+
+func TestGenerateRegisterStreaming(t *testing.T) {
+	p := opt.Params{BlockX: 64, BlockY: 2, Merge: 1, Unroll: 1,
+		StreamTile: 32, StreamDim: 2}
+	k, err := Generate(stencil.Star(2, 4), opt.ST, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Source, "double col[2 * ORDER + 1]") {
+		t.Error("register column missing without smem")
+	}
+	if strings.Contains(k.Source, "__syncthreads") {
+		t.Error("register streaming needs no barriers")
+	}
+	if k.SmemBytes != 0 {
+		t.Errorf("register streaming smem = %d", k.SmemBytes)
+	}
+}
+
+func TestGeneratePrefetchAndRetiming(t *testing.T) {
+	p := opt.Params{BlockX: 64, BlockY: 4, Merge: 1, Unroll: 1,
+		StreamTile: 32, StreamDim: 2, PrefetchDepth: 2}
+	k, err := Generate(stencil.Star(2, 2), opt.ST|opt.PR|opt.RT, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Source, "prefetch[") {
+		t.Error("PR double buffer missing")
+	}
+	if !strings.Contains(k.Source, "Retiming") {
+		t.Error("RT annotation missing")
+	}
+}
+
+func TestGenerateMergingVariants(t *testing.T) {
+	bm := opt.Params{BlockX: 32, BlockY: 4, Merge: 4, MergeDim: 2, Unroll: 1}
+	k, err := Generate(stencil.Box(2, 1), opt.BM, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Source, "Block merging") {
+		t.Error("BM annotation missing")
+	}
+	if got := strings.Count(k.Source, "// merged point"); got != 4 {
+		t.Errorf("%d merged-point bodies, want 4", got)
+	}
+	cm := opt.Params{BlockX: 32, BlockY: 4, Merge: 2, MergeDim: 1, Unroll: 1}
+	k2, err := Generate(stencil.Box(2, 1), opt.CM, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k2.Source, "Cyclic merging") || !strings.Contains(k2.Source, "Stride") {
+		t.Error("CM stride structure missing")
+	}
+}
+
+func TestGenerateTemporalBlocking(t *testing.T) {
+	p := opt.Params{BlockX: 32, BlockY: 4, Merge: 1, Unroll: 1, TBDepth: 2}
+	k, err := Generate(stencil.Star(2, 1), opt.TB, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#define TB_DEPTH 2", "extern __shared__ double tile[]", "__syncthreads()"} {
+		if !strings.Contains(k.Source, want) {
+			t.Errorf("source missing %q", want)
+		}
+	}
+	if k.SmemBytes == 0 {
+		t.Error("TB kernel reports zero shared memory")
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, err := Generate(stencil.Star(2, 1), opt.RT, baseParams()); err == nil {
+		t.Error("invalid OC accepted")
+	}
+	if _, err := Generate(stencil.Star(2, 1), opt.ST, baseParams()); err == nil {
+		t.Error("inconsistent params accepted")
+	}
+	bad := stencil.Stencil{Dims: 7}
+	if _, err := Generate(bad, 0, baseParams()); err == nil {
+		t.Error("invalid stencil accepted")
+	}
+}
+
+// Property-style sweep: every valid OC generates compilable-looking
+// source with balanced braces and the right kernel name.
+func TestGenerateAllOCsStructural(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, oc := range opt.Combinations() {
+		for _, s := range []stencil.Stencil{stencil.Star(2, 2), stencil.Box(3, 1)} {
+			p := opt.Sample(oc, s.Dims, rng)
+			k, err := Generate(s, oc, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name, oc, err)
+			}
+			if strings.Count(k.Source, "{") != strings.Count(k.Source, "}") {
+				t.Errorf("%s/%s: unbalanced braces", s.Name, oc)
+			}
+			if !strings.Contains(k.Source, k.Name) {
+				t.Errorf("%s/%s: kernel name %q missing from source", s.Name, oc, k.Name)
+			}
+			hasBarrier := strings.Contains(k.Source, "__syncthreads")
+			needsBarrier := (oc.Has(opt.ST) && p.UseSmem) || oc.Has(opt.TB)
+			if hasBarrier != needsBarrier && !oc.Has(opt.ST) {
+				t.Errorf("%s/%s: barrier presence %v, want %v", s.Name, oc, hasBarrier, needsBarrier)
+			}
+		}
+	}
+}

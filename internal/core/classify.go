@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"stencilmart/internal/baseline"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/ml"
+	"stencilmart/internal/ml/nn"
+	"stencilmart/internal/ml/tree"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stats"
+	"stencilmart/internal/stencil"
+)
+
+// ClassifierKind selects one of the paper's OC-selection mechanisms.
+type ClassifierKind int
+
+// The three classification mechanisms of Sec. IV-D.
+const (
+	ClassGBDT ClassifierKind = iota
+	ClassConvNet
+	ClassFcNet
+)
+
+// String returns the paper's mechanism name.
+func (k ClassifierKind) String() string {
+	switch k {
+	case ClassGBDT:
+		return "GBDT"
+	case ClassConvNet:
+		return "ConvNet"
+	case ClassFcNet:
+		return "FcNet"
+	default:
+		return fmt.Sprintf("ClassifierKind(%d)", int(k))
+	}
+}
+
+// ClassifierKinds lists all mechanisms in report order.
+var ClassifierKinds = []ClassifierKind{ClassConvNet, ClassFcNet, ClassGBDT}
+
+// classEncode encodes one stencil for a mechanism.
+func classEncode(kind ClassifierKind, s stencil.Stencil) []float64 {
+	switch kind {
+	case ClassGBDT:
+		return classFeatureRow(s)
+	case ClassConvNet:
+		return classTensorRow(s)
+	default:
+		return classMixedRow(s)
+	}
+}
+
+// classInput builds the corpus-index encoder for a mechanism.
+func (f *Framework) classInput(kind ClassifierKind) func(si int) []float64 {
+	return func(si int) []float64 { return classEncode(kind, f.Dataset.Stencils[si]) }
+}
+
+// newClassifier constructs an untrained mechanism for the given
+// dimensionality.
+func (f *Framework) newClassifier(kind ClassifierKind, dims int, seed int64) (ml.Classifier, error) {
+	classes := f.Grouping.NumClasses()
+	switch kind {
+	case ClassGBDT:
+		cfg := f.Cfg.GBDT
+		cfg.Seed = seed
+		return tree.NewGBDT(cfg), nil
+	case ClassConvNet:
+		cfg := f.Cfg.ConvNetTrain
+		cfg.Seed = seed
+		return nn.NewConvNet(dims, classes, cfg, seed)
+	case ClassFcNet:
+		cfg := f.Cfg.FcNetTrain
+		cfg.Seed = seed
+		sample := f.classInput(ClassFcNet)
+		indices := f.StencilIndices(dims)
+		if len(indices) == 0 {
+			return nil, fmt.Errorf("core: no %d-D stencils in corpus", dims)
+		}
+		return nn.NewFcNet(len(sample(indices[0])), classes, f.Cfg.FcNetLayers, f.Cfg.FcNetWidth, cfg, seed)
+	default:
+		return nil, fmt.Errorf("core: unknown classifier kind %d", kind)
+	}
+}
+
+// TrainClassifier fits a mechanism on the given stencil indices for one
+// architecture's labels, returning the trained model and its input
+// encoder.
+func (f *Framework) TrainClassifier(kind ClassifierKind, archIdx, dims int, trainIdx []int, seed int64) (ml.Classifier, func(int) []float64, error) {
+	cls, err := f.newClassifier(kind, dims, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc := f.classInput(kind)
+	x := make([][]float64, len(trainIdx))
+	for i, si := range trainIdx {
+		x[i] = enc(si)
+	}
+	y := f.classLabels(archIdx, trainIdx)
+	if err := cls.FitClassifier(x, y, f.Grouping.NumClasses()); err != nil {
+		return nil, nil, err
+	}
+	return cls, enc, nil
+}
+
+// ClassifierAccuracy runs the k-fold protocol for one mechanism on one
+// GPU and dimensionality, returning mean test accuracy (Fig. 9).
+func (f *Framework) ClassifierAccuracy(kind ClassifierKind, archName string, dims int) (float64, error) {
+	archIdx, _, err := f.ArchByName(archName)
+	if err != nil {
+		return 0, err
+	}
+	folds, _, err := f.stencilFolds(dims)
+	if err != nil {
+		return 0, err
+	}
+	var accs []float64
+	for fi := range folds {
+		var trainIdx, testIdx []int
+		for fj, fold := range folds {
+			if fj == fi {
+				testIdx = append(testIdx, fold...)
+			} else {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		cls, enc, err := f.TrainClassifier(kind, archIdx, dims, trainIdx, f.Cfg.Seed+int64(fi))
+		if err != nil {
+			return 0, err
+		}
+		truth := f.classLabels(archIdx, testIdx)
+		pred := make([]int, len(testIdx))
+		for i, si := range testIdx {
+			pred[i] = cls.PredictClass(enc(si))
+		}
+		acc, err := stats.Accuracy(truth, pred)
+		if err != nil {
+			return 0, err
+		}
+		accs = append(accs, acc)
+	}
+	return stats.Mean(accs), nil
+}
+
+// predictedTime returns the execution time StencilMART achieves for a
+// test stencil: the profiled best time of the representative OC of the
+// predicted class (the same SamplesPerOC search budget as the baselines).
+// If that OC crashed for the stencil, lower-probability classes are tried
+// in order; math.Inf(1) is returned only if every class crashes.
+func (f *Framework) predictedTime(cls ml.Classifier, enc func(int) []float64, archIdx, si int) float64 {
+	proba := cls.PredictProba(enc(si))
+	for _, class := range classOrder(proba) {
+		ocIdx := f.Grouping.Reps[class]
+		res := f.Dataset.Profiles[archIdx][si].Results[ocIdx]
+		if !res.Crashed {
+			return res.Time
+		}
+	}
+	return math.Inf(1)
+}
+
+// classOrder ranks classes by descending predicted probability.
+func classOrder(proba []float64) []int {
+	order := make([]int, len(proba))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return proba[order[a]] > proba[order[b]] })
+	return order
+}
+
+// contextReps elects, from the training stencils only, the top class
+// members for one (architecture, dimensionality) context: within each
+// class, members are ranked by how many training stencils they win.
+// A single global representative underserves broad classes (the ST
+// family has 12 members); contextual reps recover most of the gap to the
+// true best OC while still being derived purely from training data.
+func (f *Framework) contextReps(archIdx int, trainIdx []int, perClass int) [][]opt.Opt {
+	combos := opt.Combinations()
+	wins := make([]int, len(combos))
+	labels := f.Dataset.Labels(archIdx)
+	for _, si := range trainIdx {
+		wins[labels[si]]++
+	}
+	out := make([][]opt.Opt, f.Grouping.NumClasses())
+	for c, members := range f.Grouping.Groups {
+		ranked := append([]int(nil), members...)
+		sort.Slice(ranked, func(a, b int) bool {
+			if wins[ranked[a]] != wins[ranked[b]] {
+				return wins[ranked[a]] > wins[ranked[b]]
+			}
+			return ranked[a] < ranked[b]
+		})
+		n := perClass
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		for _, m := range ranked[:n] {
+			out[c] = append(out[c], combos[m])
+		}
+	}
+	return out
+}
+
+// searchPredicted tunes a test stencil the way a deployed StencilMART
+// would: the SamplesPerOC budget is split between the top two members of
+// the most probable class (2:1) and the runner-up class's best member
+// (hedging against mispredictions exactly as Artemis hedges across its
+// candidate extensions). The total budget matches the baselines'.
+func (f *Framework) searchPredicted(cls ml.Classifier, enc func(int) []float64, archIdx, si int, arch gpu.Arch, reps [][]opt.Opt) float64 {
+	order := classOrder(cls.PredictProba(enc(si)))
+	budget := f.Cfg.SamplesPerOC
+
+	var ocs []opt.Opt
+	if len(order) > 0 {
+		top := reps[order[0]]
+		ocs = append(ocs, top...)
+		if len(ocs) > 2 {
+			ocs = ocs[:2]
+		}
+	}
+	if len(order) > 1 && len(reps[order[1]]) > 0 {
+		ocs = append(ocs, reps[order[1]][0])
+	}
+	if len(ocs) == 0 {
+		return math.Inf(1)
+	}
+	// Budget split: half to the top candidate, the rest spread evenly.
+	splits := make([]int, len(ocs))
+	splits[0] = (budget + 1) / 2
+	rest := budget - splits[0]
+	for i := 1; i < len(splits); i++ {
+		splits[i] = rest / (len(splits) - 1)
+	}
+
+	w := sim.DefaultWorkload(f.Dataset.Stencils[si])
+	best := math.Inf(1)
+	for rank, oc := range ocs {
+		if splits[rank] < 1 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(f.Cfg.Seed + int64(si)*131 + int64(archIdx)*7 + int64(rank)))
+		for i := 0; i < splits[rank]; i++ {
+			p := opt.Sample(oc, w.S.Dims, rng)
+			r, err := f.Model.Run(w, oc, p, arch)
+			if err != nil {
+				continue
+			}
+			if r.Time < best {
+				best = r.Time
+			}
+		}
+	}
+	return best
+}
+
+// SpeedupVsBaseline evaluates a trained mechanism against a baseline
+// strategy under equal parameter-search budgets, returning the geometric
+// mean of baselineTime/stencilmartTime over held-out stencils across all
+// folds (Figs. 10 and 11).
+func (f *Framework) SpeedupVsBaseline(kind ClassifierKind, archName string, dims int, strat baseline.Strategy) (float64, error) {
+	archIdx, arch, err := f.ArchByName(archName)
+	if err != nil {
+		return 0, err
+	}
+	folds, _, err := f.stencilFolds(dims)
+	if err != nil {
+		return 0, err
+	}
+	var ratios []float64
+	for fi := range folds {
+		var trainIdx, testIdx []int
+		for fj, fold := range folds {
+			if fj == fi {
+				testIdx = append(testIdx, fold...)
+			} else {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		cls, enc, err := f.TrainClassifier(kind, archIdx, dims, trainIdx, f.Cfg.Seed+int64(fi))
+		if err != nil {
+			return 0, err
+		}
+		reps := f.contextReps(archIdx, trainIdx, 2)
+		for _, si := range testIdx {
+			w := sim.DefaultWorkload(f.Dataset.Stencils[si])
+			base, err := strat.Tune(f.Model, w, arch, f.Cfg.SamplesPerOC, f.Cfg.Seed+int64(si))
+			if err != nil {
+				continue // baseline has no runnable configuration
+			}
+			mine := f.searchPredicted(cls, enc, archIdx, si, arch, reps)
+			if math.IsInf(mine, 1) {
+				continue
+			}
+			ratios = append(ratios, base.Time/mine)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0, fmt.Errorf("core: no comparable stencils for %s vs %s", kind, strat.Name())
+	}
+	return stats.GeoMean(ratios)
+}
+
+// PredictBestOC trains on the full corpus of the stencil's dimensionality
+// (minus the stencil itself) and predicts the best OC for a corpus
+// stencil on the named GPU.
+func (f *Framework) PredictBestOC(kind ClassifierKind, archName string, sidx int) (opt.Opt, error) {
+	archIdx, _, err := f.ArchByName(archName)
+	if err != nil {
+		return 0, err
+	}
+	s := f.Dataset.Stencils[sidx]
+	var trainIdx []int
+	for _, si := range f.StencilIndices(s.Dims) {
+		if si != sidx {
+			trainIdx = append(trainIdx, si)
+		}
+	}
+	cls, enc, err := f.TrainClassifier(kind, archIdx, s.Dims, trainIdx, f.Cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	class := cls.PredictClass(enc(sidx))
+	return f.Grouping.RepOC(class), nil
+}
+
+// PredictBestOCForStencil trains on the whole corpus of the stencil's
+// dimensionality and predicts the best OC for an arbitrary (possibly
+// unseen) stencil on the named GPU — the end-user entry point.
+func (f *Framework) PredictBestOCForStencil(kind ClassifierKind, archName string, s stencil.Stencil) (opt.Opt, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	archIdx, _, err := f.ArchByName(archName)
+	if err != nil {
+		return 0, err
+	}
+	trainIdx := f.StencilIndices(s.Dims)
+	if len(trainIdx) == 0 {
+		return 0, fmt.Errorf("core: corpus has no %d-D stencils to train on", s.Dims)
+	}
+	cls, _, err := f.TrainClassifier(kind, archIdx, s.Dims, trainIdx, f.Cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	class := cls.PredictClass(classEncode(kind, s))
+	return f.Grouping.RepOC(class), nil
+}

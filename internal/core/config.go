@@ -1,0 +1,113 @@
+// Package core assembles the full StencilMART pipeline (Fig. 5): random
+// stencil generation, profiling on the simulated GPUs, PCC-based OC
+// merging, classifier training for OC selection, regressor training for
+// cross-architecture performance prediction, and the cloud-rental case
+// study.
+package core
+
+import (
+	"fmt"
+
+	"stencilmart/internal/ml/nn"
+	"stencilmart/internal/ml/tree"
+)
+
+// Config sizes the pipeline. The paper's scale (500+500 stencils, tens of
+// thousands of instances, TensorFlow/XGBoost training) is out of reach for
+// seconds-scale pure-Go tests, so everything is a knob; DefaultConfig is
+// test-sized and PaperConfig approaches the paper's proportions.
+type Config struct {
+	// Corpus2D and Corpus3D are the random stencil counts per
+	// dimensionality.
+	Corpus2D, Corpus3D int
+	// MaxOrder bounds generated stencil order (paper: 4).
+	MaxOrder int
+	// SamplesPerOC is the random parameter-search budget per OC during
+	// profiling and at prediction time (equal budgets, Sec. V-A).
+	SamplesPerOC int
+	// Classes is the merged OC class count (paper: 5).
+	Classes int
+	// Folds is the cross-validation fold count (paper: 5).
+	Folds int
+	// MaxRegressionInstances subsamples the instance dataset before
+	// regression training; 0 keeps everything.
+	MaxRegressionInstances int
+	// Seed drives every random choice in the pipeline.
+	Seed int64
+
+	// GBDT and GBReg configure the boosted-tree models.
+	GBDT  tree.BoostConfig
+	GBReg tree.BoostConfig
+	// ConvNetTrain and FcNetTrain configure classifier network training
+	// (paper: Adam, lr 1e-4, batch 50 — defaults scaled for speed).
+	ConvNetTrain nn.TrainConfig
+	FcNetTrain   nn.TrainConfig
+	// MLPTrain and ConvMLPTrain configure regressor network training
+	// (paper: Adam, lr 5e-4, batch 256).
+	MLPTrain     nn.TrainConfig
+	ConvMLPTrain nn.TrainConfig
+	// FcNetLayers/FcNetWidth shape FcNet; MLPLayers/MLPWidth shape the
+	// MLP regressor (paper: seven hidden layers).
+	FcNetLayers, FcNetWidth int
+	MLPLayers, MLPWidth     int
+}
+
+// DefaultConfig returns a seconds-scale configuration for tests and the
+// quickstart example.
+func DefaultConfig() Config {
+	return Config{
+		Corpus2D: 40, Corpus3D: 30,
+		MaxOrder:               4,
+		SamplesPerOC:           12,
+		Classes:                5,
+		Folds:                  5,
+		MaxRegressionInstances: 6000,
+		Seed:                   1,
+		GBDT:                   tree.BoostConfig{Rounds: 40, LearningRate: 0.15, Tree: tree.TreeConfig{MaxDepth: 4}},
+		GBReg:                  tree.BoostConfig{Rounds: 150, LearningRate: 0.1, Tree: tree.TreeConfig{MaxDepth: 7, MinLeaf: 3}},
+		ConvNetTrain:           nn.TrainConfig{Epochs: 40, Batch: 16, LR: 2e-3},
+		FcNetTrain:             nn.TrainConfig{Epochs: 40, Batch: 16, LR: 2e-3},
+		MLPTrain:               nn.TrainConfig{Epochs: 30, Batch: 64, LR: 2e-3},
+		ConvMLPTrain:           nn.TrainConfig{Epochs: 15, Batch: 64, LR: 2e-3},
+		FcNetLayers:            3, FcNetWidth: 64,
+		MLPLayers: 4, MLPWidth: 64,
+	}
+}
+
+// PaperConfig returns a configuration approaching the paper's scale while
+// remaining runnable on a laptop: a larger corpus, deeper search, and the
+// paper's seven-layer MLP.
+func PaperConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Corpus2D, cfg.Corpus3D = 150, 120
+	cfg.SamplesPerOC = 16
+	cfg.MaxRegressionInstances = 8000
+	cfg.GBDT.Rounds = 80
+	cfg.GBReg.Rounds = 120
+	cfg.ConvNetTrain.Epochs = 80
+	cfg.FcNetTrain.Epochs = 80
+	cfg.MLPTrain.Epochs = 60
+	cfg.ConvMLPTrain.Epochs = 25
+	cfg.MLPLayers, cfg.MLPWidth = 7, 128
+	return cfg
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.Corpus2D < 0 || c.Corpus3D < 0 || c.Corpus2D+c.Corpus3D < c.Folds {
+		return fmt.Errorf("core: corpus %d+%d too small for %d folds", c.Corpus2D, c.Corpus3D, c.Folds)
+	}
+	if c.MaxOrder < 1 {
+		return fmt.Errorf("core: max order %d < 1", c.MaxOrder)
+	}
+	if c.SamplesPerOC < 1 {
+		return fmt.Errorf("core: samples per OC %d < 1", c.SamplesPerOC)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("core: %d classes < 2", c.Classes)
+	}
+	if c.Folds < 2 {
+		return fmt.Errorf("core: %d folds < 2", c.Folds)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/tensor"
+)
+
+// classFeatureRow returns the Table II feature vector for a stencil — the
+// GBDT classifier input.
+func classFeatureRow(s stencil.Stencil) []float64 {
+	return tensor.Features(s)
+}
+
+// classTensorRow returns the flattened assigned tensor — the ConvNet
+// input.
+func classTensorRow(s stencil.Stencil) []float64 {
+	return tensor.MustAssign(s).Data
+}
+
+// classMixedRow returns tensor followed by features — the FcNet input.
+func classMixedRow(s stencil.Stencil) []float64 {
+	t := classTensorRow(s)
+	f := classFeatureRow(s)
+	out := make([]float64, 0, len(t)+len(f))
+	out = append(out, t...)
+	return append(out, f...)
+}
+
+// regTailRow encodes the non-stencil part of a regression input: OC
+// flags, the log2/enum-encoded parameter setting, the GPU hardware
+// characteristics (Sec. IV-E), and a block of engineered interaction
+// features. The interactions mirror the first-order structure of stencil
+// kernels — per-thread coverage, tile halo ratios, coalescing breakers,
+// per-line footprint — and are the kind of feature engineering the paper
+// cites as standard practice for regression tasks (Sec. IV-C, [28]).
+func regTailRow(s stencil.Stencil, oc opt.Opt, p opt.Params, arch gpu.Arch) []float64 {
+	out := oc.FlagVector()
+	out = append(out, p.Encode()...)
+	out = append(out, arch.Features()...)
+
+	order := float64(s.Order())
+	cover := math.Log2(float64(maxi(p.Merge, 1)) * float64(maxi(p.Unroll, 1)) * float64(maxi(p.StreamTile, 1)))
+	haloX := order / float64(p.BlockX)
+	haloY := order / float64(p.BlockY*maxi(p.Merge, 1))
+	bmX := 0.0
+	if oc.Has(opt.BM) && p.MergeDim == 1 {
+		bmX = float64(p.Merge)
+	}
+	stX := 0.0
+	if oc.Has(opt.ST) && p.StreamDim == 1 {
+		stX = 1
+	}
+	lines := float64(stencil.LineCount(s))
+	streamDim := p.StreamDim
+	if streamDim == 0 {
+		streamDim = 3
+	}
+	planeLines := float64(stencil.PlaneLineCount(s, streamDim))
+	tbHalo := 0.0
+	if oc.Has(opt.TB) {
+		tbHalo = order * float64(p.TBDepth)
+	}
+	return append(out, cover, haloX, haloY, bmX, stX, lines, planeLines, tbHalo)
+}
+
+// regInteractionNames lists the engineered tail features in order.
+var regInteractionNames = []string{
+	"log2Cover", "haloX", "haloY", "bmXMerge", "streamX", "lines", "planeLines", "tbHalo",
+}
+
+// regTailWidth is the width of regTailRow.
+var regTailWidth = len(opt.FlagNames) + len(opt.ParamFeatureNames) + len(gpu.FeatureNames) + len(regInteractionNames)
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// regFeatureRow is the MLP/GBRegressor input: Table II stencil features
+// followed by the tail.
+func regFeatureRow(s stencil.Stencil, oc opt.Opt, p opt.Params, arch gpu.Arch) []float64 {
+	out := classFeatureRow(s)
+	return append(out, regTailRow(s, oc, p, arch)...)
+}
+
+// regTensorRow is the ConvMLP input: assigned tensor followed by the
+// tail.
+func regTensorRow(s stencil.Stencil, oc opt.Opt, p opt.Params, arch gpu.Arch) []float64 {
+	out := classTensorRow(s)
+	return append(out, regTailRow(s, oc, p, arch)...)
+}
+
+// regTarget converts an instance time to the training target. Regressors
+// fit log2(time) (DESIGN.md decision 2); predictions invert with
+// regInvert.
+func regTarget(seconds float64) float64 { return math.Log2(seconds) }
+
+// regInvert converts a predicted target back to seconds.
+func regInvert(target float64) float64 { return math.Exp2(target) }
+
+// instanceRow builds the regression input row for a profiled instance.
+func (f *Framework) instanceRow(in profile.Instance, tensorInput bool) ([]float64, error) {
+	_, arch, err := f.ArchByName(in.Arch)
+	if err != nil {
+		return nil, err
+	}
+	s := f.Dataset.Stencils[in.StencilIdx]
+	if tensorInput {
+		return regTensorRow(s, in.OC, in.Params, arch), nil
+	}
+	return regFeatureRow(s, in.OC, in.Params, arch), nil
+}
+
+// columnScaler rescales feature columns to [0, 1] by the training maxima
+// — the paper's normalization for network inputs. Tree models skip it.
+type columnScaler struct {
+	scale []float64
+}
+
+// fitScaler computes column maxima over training rows and normalizes them
+// in place.
+func fitScaler(rows [][]float64) columnScaler {
+	return columnScaler{scale: tensor.NormalizeColumns(rows)}
+}
+
+// apply normalizes one row with the fitted maxima.
+func (c columnScaler) apply(row []float64) []float64 {
+	if c.scale == nil {
+		return row
+	}
+	return tensor.ApplyScale(row, c.scale)
+}
+
+// targetScaler standardizes regression targets for network training.
+type targetScaler struct {
+	mean, std float64
+}
+
+func fitTargetScaler(y []float64) targetScaler {
+	var m float64
+	for _, v := range y {
+		m += v
+	}
+	m /= float64(len(y))
+	var s float64
+	for _, v := range y {
+		s += (v - m) * (v - m)
+	}
+	s = math.Sqrt(s / float64(len(y)))
+	if s == 0 {
+		s = 1
+	}
+	for i := range y {
+		y[i] = (y[i] - m) / s
+	}
+	return targetScaler{mean: m, std: s}
+}
+
+func (t targetScaler) invert(v float64) float64 {
+	if t.std == 0 {
+		return v
+	}
+	return v*t.std + t.mean
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stencilmart/internal/ml"
+	"stencilmart/internal/ml/nn"
+	"stencilmart/internal/ml/tree"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/stats"
+)
+
+// RegressorKind selects one of the paper's performance-prediction
+// mechanisms (Sec. IV-E).
+type RegressorKind int
+
+// The three regression mechanisms of Fig. 12.
+const (
+	RegGB RegressorKind = iota
+	RegMLP
+	RegConvMLP
+)
+
+// String returns the paper's mechanism name.
+func (k RegressorKind) String() string {
+	switch k {
+	case RegGB:
+		return "GBRegressor"
+	case RegMLP:
+		return "MLP"
+	case RegConvMLP:
+		return "ConvMLP"
+	default:
+		return fmt.Sprintf("RegressorKind(%d)", int(k))
+	}
+}
+
+// RegressorKinds lists all mechanisms in report order.
+var RegressorKinds = []RegressorKind{RegConvMLP, RegMLP, RegGB}
+
+// usesTensor reports whether the mechanism consumes the assigned tensor
+// rather than the Table II features.
+func (k RegressorKind) usesTensor() bool { return k == RegConvMLP }
+
+// usesScaling reports whether inputs are normalized to [0,1] (network
+// mechanisms only, per Sec. IV-E).
+func (k RegressorKind) usesScaling() bool { return k != RegGB }
+
+// TrainedRegressor couples a fitted regressor with its input encoding and
+// scaling so predictions can be made for arbitrary instances.
+type TrainedRegressor struct {
+	kind   RegressorKind
+	model  ml.Regressor
+	xScale columnScaler
+	yScale targetScaler
+	f      *Framework
+}
+
+// dimsInstances returns the regression instances whose stencil has the
+// given dimensionality, subsampled to MaxRegressionInstances.
+func (f *Framework) dimsInstances(dims int) []profile.Instance {
+	var out []profile.Instance
+	for _, in := range f.Dataset.Instances {
+		if f.Dataset.Stencils[in.StencilIdx].Dims == dims {
+			out = append(out, in)
+		}
+	}
+	limit := f.Cfg.MaxRegressionInstances
+	if limit > 0 && len(out) > limit {
+		rng := rand.New(rand.NewSource(f.Cfg.Seed + 31))
+		perm := rng.Perm(len(out))
+		sub := make([]profile.Instance, limit)
+		for i := 0; i < limit; i++ {
+			sub[i] = out[perm[i]]
+		}
+		out = sub
+	}
+	return out
+}
+
+// newRegressor constructs an untrained mechanism.
+func (f *Framework) newRegressor(kind RegressorKind, dims, inDim int, seed int64) (ml.Regressor, error) {
+	switch kind {
+	case RegGB:
+		cfg := f.Cfg.GBReg
+		cfg.Seed = seed
+		return tree.NewGBRegressor(cfg), nil
+	case RegMLP:
+		cfg := f.Cfg.MLPTrain
+		cfg.Seed = seed
+		return nn.NewMLP(inDim, f.Cfg.MLPLayers, f.Cfg.MLPWidth, cfg, seed)
+	case RegConvMLP:
+		cfg := f.Cfg.ConvMLPTrain
+		cfg.Seed = seed
+		return nn.NewConvMLP(dims, regTailWidth, cfg, seed)
+	default:
+		return nil, fmt.Errorf("core: unknown regressor kind %d", kind)
+	}
+}
+
+// TrainRegressor fits a mechanism on the given instances.
+func (f *Framework) TrainRegressor(kind RegressorKind, dims int, instances []profile.Instance, seed int64) (*TrainedRegressor, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: no instances to train %s", kind)
+	}
+	x := make([][]float64, len(instances))
+	y := make([]float64, len(instances))
+	for i, in := range instances {
+		row, err := f.instanceRow(in, kind.usesTensor())
+		if err != nil {
+			return nil, err
+		}
+		x[i] = row
+		y[i] = regTarget(in.Time)
+	}
+	tr := &TrainedRegressor{kind: kind, f: f}
+	if kind.usesScaling() {
+		tr.xScale = fitScaler(x)
+		tr.yScale = fitTargetScaler(y)
+	}
+	model, err := f.newRegressor(kind, dims, len(x[0]), seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.FitRegressor(x, y); err != nil {
+		return nil, err
+	}
+	tr.model = model
+	return tr, nil
+}
+
+// PredictSeconds predicts the execution time of an instance in seconds.
+func (t *TrainedRegressor) PredictSeconds(in profile.Instance) (float64, error) {
+	row, err := t.f.instanceRow(in, t.kind.usesTensor())
+	if err != nil {
+		return 0, err
+	}
+	row = t.xScale.apply(row)
+	v := t.model.PredictValue(row)
+	if t.kind.usesScaling() {
+		v = t.yScale.invert(v)
+	}
+	return regInvert(v), nil
+}
+
+// RegressorMAPE runs the k-fold protocol for one mechanism over the
+// instances of one dimensionality and returns the mean test MAPE per
+// architecture plus the overall mean (Fig. 12).
+func (f *Framework) RegressorMAPE(kind RegressorKind, dims int) (map[string]float64, float64, error) {
+	instances := f.dimsInstances(dims)
+	if len(instances) < f.Cfg.Folds {
+		return nil, 0, fmt.Errorf("core: %d instances cannot form %d folds", len(instances), f.Cfg.Folds)
+	}
+	folds, err := profile.Folds(len(instances), f.Cfg.Folds, f.Cfg.Seed+13)
+	if err != nil {
+		return nil, 0, err
+	}
+	truthByArch := map[string][]float64{}
+	predByArch := map[string][]float64{}
+	var allTruth, allPred []float64
+	for fi := range folds {
+		trainPos, testPos := profile.TrainTest(folds, fi)
+		train := make([]profile.Instance, len(trainPos))
+		for i, p := range trainPos {
+			train[i] = instances[p]
+		}
+		tr, err := f.TrainRegressor(kind, dims, train, f.Cfg.Seed+int64(fi))
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, p := range testPos {
+			in := instances[p]
+			pred, err := tr.PredictSeconds(in)
+			if err != nil {
+				return nil, 0, err
+			}
+			truthByArch[in.Arch] = append(truthByArch[in.Arch], in.Time)
+			predByArch[in.Arch] = append(predByArch[in.Arch], pred)
+			allTruth = append(allTruth, in.Time)
+			allPred = append(allPred, pred)
+		}
+	}
+	out := make(map[string]float64, len(truthByArch))
+	for arch, truth := range truthByArch {
+		m, err := stats.MAPE(truth, predByArch[arch])
+		if err != nil {
+			return nil, 0, err
+		}
+		out[arch] = m
+	}
+	overall, err := stats.MAPE(allTruth, allPred)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, overall, nil
+}
+
+// MLPSweepPoint is one cell of the Fig. 13 sensitivity study.
+type MLPSweepPoint struct {
+	Layers int
+	Width  int
+	MAPE   float64
+}
+
+// MLPSweep trains MLPs across the hidden-layer and width grid on one
+// train/test split and reports test MAPE per cell (Fig. 13).
+func (f *Framework) MLPSweep(dims int, layerCounts, widths []int) ([]MLPSweepPoint, error) {
+	instances := f.dimsInstances(dims)
+	if len(instances) < 10 {
+		return nil, fmt.Errorf("core: %d instances too few for the MLP sweep", len(instances))
+	}
+	folds, err := profile.Folds(len(instances), 5, f.Cfg.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	trainPos, testPos := profile.TrainTest(folds, 0)
+	train := make([]profile.Instance, len(trainPos))
+	for i, p := range trainPos {
+		train[i] = instances[p]
+	}
+	var out []MLPSweepPoint
+	saveLayers, saveWidth := f.Cfg.MLPLayers, f.Cfg.MLPWidth
+	defer func() { f.Cfg.MLPLayers, f.Cfg.MLPWidth = saveLayers, saveWidth }()
+	for _, l := range layerCounts {
+		for _, w := range widths {
+			f.Cfg.MLPLayers, f.Cfg.MLPWidth = l, w
+			tr, err := f.TrainRegressor(RegMLP, dims, train, f.Cfg.Seed+int64(l*10000+w))
+			if err != nil {
+				return nil, err
+			}
+			var truth, pred []float64
+			for _, p := range testPos {
+				in := instances[p]
+				v, err := tr.PredictSeconds(in)
+				if err != nil {
+					return nil, err
+				}
+				truth = append(truth, in.Time)
+				pred = append(pred, v)
+			}
+			m, err := stats.MAPE(truth, pred)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, MLPSweepPoint{Layers: l, Width: w, MAPE: m})
+		}
+	}
+	return out, nil
+}

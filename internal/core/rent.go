@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/sim"
+)
+
+// RentReport is the outcome of the "to rent or not to rent" case study
+// (Sec. V-D): per GPU, the fraction of stencil instances it truly wins and
+// the prediction accuracy among those instances, for pure performance
+// (Fig. 14) or cost efficiency (Fig. 15).
+type RentReport struct {
+	// Dims is the stencil dimensionality studied.
+	Dims int
+	// CostBased selects time x rental price as the metric; otherwise pure
+	// execution time.
+	CostBased bool
+	// ArchNames lists the GPUs compared (rentable subset when CostBased).
+	ArchNames []string
+	// Share is the ground-truth winning fraction per GPU.
+	Share []float64
+	// Accuracy is the winner-prediction accuracy among the instances each
+	// GPU truly wins; NaN when that GPU wins nothing.
+	Accuracy []float64
+	// Overall is the overall winner-prediction accuracy.
+	Overall float64
+	// Instances is the evaluation-set size.
+	Instances int
+}
+
+// RentStudy trains a cross-architecture regressor on the training
+// stencils' instances, then — for held-out stencils — samples fresh
+// (OC, parameter) instances, measures them on every candidate GPU for
+// ground truth, and checks whether the regressor picks the same winner.
+func (f *Framework) RentStudy(kind RegressorKind, dims int, costBased bool, evalPerStencil int) (RentReport, error) {
+	if evalPerStencil < 1 {
+		return RentReport{}, fmt.Errorf("core: evalPerStencil %d < 1", evalPerStencil)
+	}
+	var archs []gpu.Arch
+	if costBased {
+		for _, a := range f.Dataset.Archs {
+			if a.HasRental() {
+				archs = append(archs, a)
+			}
+		}
+	} else {
+		archs = f.Dataset.Archs
+	}
+	if len(archs) < 2 {
+		return RentReport{}, fmt.Errorf("core: need >= 2 candidate GPUs, have %d", len(archs))
+	}
+
+	folds, _, err := f.stencilFolds(dims)
+	if err != nil {
+		return RentReport{}, err
+	}
+	testSet := map[int]bool{}
+	for _, si := range folds[0] {
+		testSet[si] = true
+	}
+
+	// Train on the instances of the training stencils only.
+	var train []profile.Instance
+	for _, in := range f.dimsInstances(dims) {
+		if !testSet[in.StencilIdx] {
+			train = append(train, in)
+		}
+	}
+	tr, err := f.TrainRegressor(kind, dims, train, f.Cfg.Seed+23)
+	if err != nil {
+		return RentReport{}, err
+	}
+
+	report := RentReport{Dims: dims, CostBased: costBased}
+	for _, a := range archs {
+		report.ArchNames = append(report.ArchNames, a.Name)
+	}
+	wins := make([]int, len(archs))
+	hits := make([]int, len(archs))
+	combos := opt.Combinations()
+	rng := rand.New(rand.NewSource(f.Cfg.Seed + 29))
+	metric := func(a gpu.Arch, seconds float64) float64 {
+		if costBased {
+			return seconds * a.RentalPerHour
+		}
+		return seconds
+	}
+
+	for si := range testSet {
+		s := f.Dataset.Stencils[si]
+		w := sim.DefaultWorkload(s)
+		for e := 0; e < evalPerStencil; e++ {
+			oc := combos[rng.Intn(len(combos))]
+			params := opt.Sample(oc, s.Dims, rng)
+			truthBest, predBest := -1, -1
+			truthVal, predVal := math.Inf(1), math.Inf(1)
+			valid := 0
+			for ai, a := range archs {
+				r, err := f.Model.Run(w, oc, params, a)
+				if err != nil {
+					continue
+				}
+				valid++
+				if tv := metric(a, r.Time); tv < truthVal {
+					truthVal, truthBest = tv, ai
+				}
+				p, err := tr.PredictSeconds(profile.Instance{
+					StencilIdx: si, OC: oc, Params: params, Arch: a.Name,
+				})
+				if err != nil {
+					return RentReport{}, err
+				}
+				if pv := metric(a, p); pv < predVal {
+					predVal, predBest = pv, ai
+				}
+			}
+			if valid < 2 {
+				continue // not a meaningful comparison
+			}
+			report.Instances++
+			wins[truthBest]++
+			if predBest == truthBest {
+				hits[truthBest]++
+			}
+		}
+	}
+	if report.Instances == 0 {
+		return RentReport{}, fmt.Errorf("core: rent study produced no comparable instances")
+	}
+	total := 0
+	for ai := range archs {
+		report.Share = append(report.Share, float64(wins[ai])/float64(report.Instances))
+		if wins[ai] > 0 {
+			report.Accuracy = append(report.Accuracy, float64(hits[ai])/float64(wins[ai]))
+		} else {
+			report.Accuracy = append(report.Accuracy, math.NaN())
+		}
+		total += hits[ai]
+	}
+	report.Overall = float64(total) / float64(report.Instances)
+	return report, nil
+}

@@ -1,0 +1,25 @@
+package cpukernel
+
+import (
+	"testing"
+
+	"stencilmart/internal/stencil"
+)
+
+// BenchmarkVariants compares the CPU throughput of the executable
+// optimization schemes on one 2-D sweep set.
+func BenchmarkVariants(b *testing.B) {
+	s := stencil.Star(2, 2)
+	in := randomGrid(256, 256, 1, 1)
+	coeffs := stencil.UniformCoefficients(s)
+	for _, v := range []Variant{VariantNaive, VariantTiled, VariantBlockMerged, VariantStreaming, VariantTemporal} {
+		b.Run(v.String(), func(b *testing.B) {
+			b.SetBytes(int64(in.Len() * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(v, s, coeffs, in, 2, Options{TBDepth: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package cpukernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stencilmart/internal/stencil"
+)
+
+// randomGrid fills a grid deterministically.
+func randomGrid(nx, ny, nz int, seed int64) *stencil.Grid {
+	g := stencil.NewGrid(nx, ny, nz)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()*2 - 1
+	}
+	return g
+}
+
+// randomCoeffs draws signed weights.
+func randomCoeffs(s stencil.Stencil, seed int64) stencil.Coefficients {
+	rng := rand.New(rand.NewSource(seed))
+	c := make(stencil.Coefficients, s.NumPoints())
+	for i := range c {
+		c[i] = rng.Float64() - 0.5
+	}
+	return c
+}
+
+// assertSame requires exact equality: the transformations reorder loops,
+// not arithmetic, so results must be bit-identical.
+func assertSame(t *testing.T, name string, want, got *stencil.Grid) {
+	t.Helper()
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s: diverged at %d: %g vs %g", name, i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// assertClose allows only fp-reassociation-free equality with tolerance
+// for the temporal variant, which recomputes identical expressions.
+func assertClose(t *testing.T, name string, want, got *stencil.Grid) {
+	t.Helper()
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-12 {
+			t.Fatalf("%s: diverged at %d: %g vs %g", name, i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func suite() []stencil.Stencil {
+	return []stencil.Stencil{
+		stencil.Star(2, 1), stencil.Box(2, 2), stencil.Cross(2, 3),
+		stencil.Star(3, 2), stencil.Box(3, 1),
+	}
+}
+
+func TestSpatialVariantsMatchNaive(t *testing.T) {
+	for _, s := range suite() {
+		nx, ny, nz := 25, 21, 1
+		if s.Dims == 3 {
+			nz = 13
+		}
+		in := randomGrid(nx, ny, nz, 1)
+		coeffs := randomCoeffs(s, 2)
+		want, err := Run(VariantNaive, s, coeffs, in, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []Variant{VariantTiled, VariantBlockMerged, VariantCyclicMerged, VariantStreaming} {
+			got, err := Run(v, s, coeffs, in, 3, Options{TileX: 8, TileY: 8, Merge: 3})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name, v, err)
+			}
+			assertSame(t, s.Name+"/"+v.String(), want, got)
+		}
+	}
+}
+
+func TestTemporalBlockingMatchesNaive(t *testing.T) {
+	for _, s := range suite() {
+		nx, ny, nz := 30, 26, 1
+		if s.Dims == 3 {
+			nz = 15
+		}
+		in := randomGrid(nx, ny, nz, 3)
+		coeffs := randomCoeffs(s, 4)
+		for _, steps := range []int{1, 2, 4, 5} {
+			want, err := Run(VariantNaive, s, coeffs, in, steps, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tb := range []int{2, 3} {
+				got, err := Run(VariantTemporal, s, coeffs, in, steps,
+					Options{TileX: 10, TileY: 7, TBDepth: tb})
+				if err != nil {
+					t.Fatalf("%s tb=%d: %v", s.Name, tb, err)
+				}
+				assertClose(t, s.Name, want, got)
+			}
+		}
+	}
+}
+
+func TestTemporalHaloPreserved(t *testing.T) {
+	// The halo ring must keep its original values through fused steps,
+	// exactly as the reference executor leaves it.
+	s := stencil.Box(2, 2)
+	in := randomGrid(20, 20, 1, 5)
+	got, err := Run(VariantTemporal, s, randomCoeffs(s, 6), in, 4, Options{TileX: 6, TileY: 6, TBDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Order()
+	for y := 0; y < r; y++ {
+		for x := 0; x < in.Nx; x++ {
+			if got.At(x, y, 0) != in.At(x, y, 0) {
+				t.Fatalf("halo (%d,%d) modified", x, y)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := stencil.Star(2, 1)
+	in := randomGrid(10, 10, 1, 7)
+	if _, err := Run(VariantNaive, s, stencil.UniformCoefficients(s), in, 0, Options{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Run(Variant(99), s, stencil.UniformCoefficients(s), in, 1, Options{}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for v, want := range map[Variant]string{
+		VariantNaive: "naive", VariantTiled: "tiled", VariantBlockMerged: "block-merged",
+		VariantCyclicMerged: "cyclic-merged", VariantStreaming: "streaming", VariantTemporal: "temporal",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+}
+
+// Property: for random small grids, tile shapes and merge factors, every
+// spatial variant equals naive after a random number of steps.
+func TestQuickVariantEquivalence(t *testing.T) {
+	f := func(seed int64, tileRaw, mergeRaw uint8) bool {
+		s := stencil.Star(2, 2)
+		in := randomGrid(18, 16, 1, seed)
+		coeffs := randomCoeffs(s, seed+1)
+		opts := Options{
+			TileX: 3 + int(tileRaw%10),
+			TileY: 3 + int(tileRaw/10%10),
+			Merge: 1 + int(mergeRaw%5),
+		}
+		want, err := Run(VariantNaive, s, coeffs, in, 2, Options{})
+		if err != nil {
+			return false
+		}
+		for _, v := range []Variant{VariantTiled, VariantBlockMerged, VariantCyclicMerged} {
+			got, err := Run(v, s, coeffs, in, 2, opts)
+			if err != nil {
+				return false
+			}
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"stencilmart/internal/baseline"
+	"stencilmart/internal/core"
+)
+
+// Fig9 reproduces the classification-accuracy comparison (paper: ConvNet
+// ~84.4%/83.0% for 2-D/3-D, GBDT ~81.7%/80.8%, FcNet worst).
+func (r *Runner) Fig9() error {
+	fmt.Fprintln(r.Out, "== Fig. 9: OC-selection accuracy per mechanism and GPU ==")
+	fw, err := r.framework()
+	if err != nil {
+		return err
+	}
+	for _, kind := range core.ClassifierKinds {
+		for _, dims := range []int{2, 3} {
+			var accs []float64
+			fmt.Fprintf(r.Out, "%-8s %dD:", kind, dims)
+			for _, name := range sortedArchNames() {
+				acc, err := fw.ClassifierAccuracy(kind, name, dims)
+				if err != nil {
+					return err
+				}
+				accs = append(accs, acc)
+				fmt.Fprintf(r.Out, "  %s=%.1f%%", name, acc*100)
+			}
+			var sum float64
+			for _, a := range accs {
+				sum += a
+			}
+			fmt.Fprintf(r.Out, "  avg=%.1f%%\n", sum/float64(len(accs))*100)
+		}
+	}
+	fmt.Fprintln(r.Out, "paper: ConvNet 84.4%/83.0%, GBDT 81.7%/80.8% (2-D/3-D), FcNet worst")
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+// speedupFigure renders Fig. 10 or Fig. 11.
+func (r *Runner) speedupFigure(title string, strat baseline.Strategy, paperNote string) error {
+	fmt.Fprintln(r.Out, title)
+	fw, err := r.framework()
+	if err != nil {
+		return err
+	}
+	for _, kind := range []core.ClassifierKind{core.ClassConvNet, core.ClassGBDT} {
+		for _, dims := range []int{2, 3} {
+			fmt.Fprintf(r.Out, "%-8s %dD:", kind, dims)
+			var all []float64
+			for _, name := range sortedArchNames() {
+				sp, err := fw.SpeedupVsBaseline(kind, name, dims, strat)
+				if err != nil {
+					return err
+				}
+				all = append(all, sp)
+				fmt.Fprintf(r.Out, "  %s=%.2fx", name, sp)
+			}
+			var prod float64 = 1
+			for _, s := range all {
+				prod *= s
+			}
+			fmt.Fprintf(r.Out, "  avg=%.2fx\n", math.Pow(prod, 1/float64(len(all))))
+		}
+	}
+	fmt.Fprintln(r.Out, paperNote)
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+// Fig10 reproduces the speedup over Artemis (paper: ConvNet 1.30x/1.32x
+// for 2-D/3-D).
+func (r *Runner) Fig10() error {
+	return r.speedupFigure(
+		"== Fig. 10: speedup of predicted OC over Artemis ==",
+		baseline.Artemis{},
+		"paper: ConvNet 1.30x (2-D) / 1.32x (3-D) over Artemis; GBDT slightly lower")
+}
+
+// Fig11 reproduces the speedup over AN5D (paper: ConvNet 1.33x/1.09x).
+func (r *Runner) Fig11() error {
+	return r.speedupFigure(
+		"== Fig. 11: speedup of predicted OC over AN5D ==",
+		baseline.AN5D{},
+		"paper: ConvNet 1.33x (2-D) / 1.09x (3-D) over AN5D; GBDT slightly lower")
+}
+
+// Fig12 reproduces the regression-error comparison (paper: MLP best at
+// 6.2%/5.3% MAPE; GBRegressor 9.5%/6.3%; ConvMLP 13.4%/11.6%).
+func (r *Runner) Fig12() error {
+	fmt.Fprintln(r.Out, "== Fig. 12: performance-prediction test error (MAPE) ==")
+	fw, err := r.framework()
+	if err != nil {
+		return err
+	}
+	for _, kind := range core.RegressorKinds {
+		for _, dims := range []int{2, 3} {
+			per, overall, err := fw.RegressorMAPE(kind, dims)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(r.Out, "%-12s %dD:", kind, dims)
+			for _, name := range sortedArchNames() {
+				if v, ok := per[name]; ok {
+					fmt.Fprintf(r.Out, "  %s=%.1f%%", name, v*100)
+				}
+			}
+			fmt.Fprintf(r.Out, "  overall=%.1f%%\n", overall*100)
+		}
+	}
+	fmt.Fprintln(r.Out, "paper: MLP 6.2%/5.3%, GBRegressor 9.5%/6.3%, ConvMLP 13.4%/11.6% (2-D/3-D)")
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+// Fig13 reproduces the MLP sensitivity sweep over hidden-layer count and
+// width (paper: deeper/wider is better with diminishing returns past 7
+// layers). Widths are scaled down from the paper's 2^4..2^10 to keep
+// pure-Go training tractable; the trend is the reproduction target.
+func (r *Runner) Fig13() error {
+	fmt.Fprintln(r.Out, "== Fig. 13: MLP test error vs hidden layers and layer size ==")
+	fw, err := r.framework()
+	if err != nil {
+		return err
+	}
+	layers := []int{4, 7, 10}
+	widths := []int{16, 32, 64}
+	for _, dims := range []int{2, 3} {
+		points, err := fw.MLPSweep(dims, layers, widths)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "%d-D stencils:\n", dims)
+		fmt.Fprintf(r.Out, "%8s", "width")
+		for _, w := range widths {
+			fmt.Fprintf(r.Out, "%8d", w)
+		}
+		fmt.Fprintln(r.Out)
+		for _, l := range layers {
+			fmt.Fprintf(r.Out, "%2d layers", l)
+			for _, w := range widths {
+				for _, p := range points {
+					if p.Layers == l && p.Width == w {
+						fmt.Fprintf(r.Out, "%7.1f%%", p.MAPE*100)
+					}
+				}
+			}
+			fmt.Fprintln(r.Out)
+		}
+	}
+	fmt.Fprintln(r.Out, "paper: error falls with depth/width; ~7 layers is the knee")
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+// rentFigure renders Fig. 14 or Fig. 15.
+func (r *Runner) rentFigure(title string, costBased bool, paperNote string) error {
+	fmt.Fprintln(r.Out, title)
+	fw, err := r.framework()
+	if err != nil {
+		return err
+	}
+	for _, dims := range []int{2, 3} {
+		rep, err := fw.RentStudy(core.RegGB, dims, costBased, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "%dD (n=%d):", dims, rep.Instances)
+		for i, name := range rep.ArchNames {
+			acc := "-"
+			if !math.IsNaN(rep.Accuracy[i]) {
+				acc = fmt.Sprintf("%.0f%%", rep.Accuracy[i]*100)
+			}
+			fmt.Fprintf(r.Out, "  %s share=%.1f%% acc=%s", name, rep.Share[i]*100, acc)
+		}
+		fmt.Fprintf(r.Out, "  overall acc=%.1f%%\n", rep.Overall*100)
+	}
+	fmt.Fprintln(r.Out, paperNote)
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+// Fig14 reproduces the pure-performance GPU ground truth and prediction
+// accuracy (paper: 2-D shares 20.2/17.8/40.2/21.8% for
+// 2080Ti/P100/V100/A100; overall accuracy 96.7%/97.3%).
+func (r *Runner) Fig14() error {
+	return r.rentFigure(
+		"== Fig. 14: best GPU per stencil instance (pure performance) ==",
+		false,
+		"paper 2-D shares: 2080Ti 20.2%, P100 17.8%, V100 40.2%, A100 21.8%; 3-D: A100 36.9% largest")
+}
+
+// Fig15 reproduces the cost-efficiency ground truth and prediction
+// accuracy (paper: P100 wins 61.0%/56.7% of 2-D/3-D instances; overall
+// accuracy 97.3%/96.1%).
+func (r *Runner) Fig15() error {
+	return r.rentFigure(
+		"== Fig. 15: most cost-efficient cloud GPU per stencil instance ==",
+		true,
+		"paper shares: P100 61.0%/56.7%, V100 22.7%/20.6%, A100 16.3%/22.7% (2-D/3-D)")
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stencilmart/internal/core"
+)
+
+func TestCheapExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(core.DefaultConfig(), &buf)
+	for _, id := range []string{"table1", "table2", "table3", "fig1", "fig4"} {
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Table II", "Table III", "Fig. 1", "Fig. 4", "average gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if err := r.Run("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -1,0 +1,321 @@
+// Package merge implements the paper's OC-grouping step (Secs. III-C and
+// IV-D): optimization combinations whose per-stencil best times are highly
+// Pearson-correlated behave interchangeably, so they are merged—via
+// union-find over the most correlated pairs—until a target number of
+// prediction classes (5 in the paper) remains. Each class elects the OC
+// that wins most stencils as its representative prediction target.
+package merge
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stats"
+)
+
+// Pair is a correlated OC pair.
+type Pair struct {
+	// A and B index opt.Combinations, with A < B.
+	A, B int
+	// PCC is the absolute Pearson correlation of the two OCs' best-time
+	// vectors over the stencil corpus.
+	PCC float64
+}
+
+// minCommon is the minimum number of stencils two OCs must both run on
+// for their correlation to count.
+const minCommon = 3
+
+// PCCMatrix computes the NaN-aware absolute pairwise Pearson correlations
+// among the OC rows of a best-time matrix ([ocIdx][stencilIdx], NaN for
+// crashes). Each stencil column is first normalized to log2(time/best)
+// — the relative slowdown against the stencil's fastest OC — so the
+// correlation captures "the effect of pairwise OCs on stencil computation
+// is similar" (Sec. III-C) rather than the stencils' intrinsic
+// magnitudes, which would otherwise correlate every OC pair near 1.
+// Entries with too few common stencils or degenerate variance are NaN.
+func PCCMatrix(best [][]float64) [][]float64 {
+	n := len(best)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = math.NaN()
+		}
+		out[i][i] = 1
+	}
+	if n == 0 {
+		return out
+	}
+	// Per-stencil best over non-crashed OCs.
+	nStencils := len(best[0])
+	colBest := make([]float64, nStencils)
+	for s := range colBest {
+		colBest[s] = math.Inf(1)
+		for i := range best {
+			if v := best[i][s]; !math.IsNaN(v) && v < colBest[s] {
+				colBest[s] = v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var xs, ys []float64
+			for s := range best[i] {
+				if !math.IsNaN(best[i][s]) && !math.IsNaN(best[j][s]) {
+					xs = append(xs, math.Log2(best[i][s]/colBest[s]))
+					ys = append(ys, math.Log2(best[j][s]/colBest[s]))
+				}
+			}
+			if len(xs) < minCommon {
+				continue
+			}
+			r, err := stats.Pearson(xs, ys)
+			if err != nil {
+				continue
+			}
+			out[i][j] = math.Abs(r)
+			out[j][i] = out[i][j]
+		}
+	}
+	return out
+}
+
+// TopPairs returns the k most correlated OC pairs in descending PCC
+// order, skipping NaN entries. Fewer than k pairs may be returned.
+func TopPairs(pcc [][]float64, k int) []Pair {
+	var pairs []Pair
+	for i := range pcc {
+		for j := i + 1; j < len(pcc); j++ {
+			if !math.IsNaN(pcc[i][j]) {
+				pairs = append(pairs, Pair{A: i, B: j, PCC: pcc[i][j]})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].PCC != pairs[b].PCC {
+			return pairs[a].PCC > pairs[b].PCC
+		}
+		if pairs[a].A != pairs[b].A {
+			return pairs[a].A < pairs[b].A
+		}
+		return pairs[a].B < pairs[b].B
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs
+}
+
+// BestCounts returns, per OC, the number of stencils for which that OC
+// achieves the minimum time (Fig. 2's distribution).
+func BestCounts(best [][]float64) []int {
+	counts := make([]int, len(best))
+	if len(best) == 0 {
+		return counts
+	}
+	for s := range best[0] {
+		winner, wt := -1, math.Inf(1)
+		for ci := range best {
+			t := best[ci][s]
+			if !math.IsNaN(t) && t < wt {
+				winner, wt = ci, t
+			}
+		}
+		if winner >= 0 {
+			counts[winner]++
+		}
+	}
+	return counts
+}
+
+// IntersectionFraction computes the size of the intersection of the
+// per-architecture top-k pair sets relative to k (the Fig. 3 "28% of the
+// total" statistic).
+func IntersectionFraction(matrices [][][]float64, k int) (float64, error) {
+	if len(matrices) == 0 {
+		return 0, fmt.Errorf("merge: no matrices")
+	}
+	type key struct{ a, b int }
+	common := map[key]int{}
+	for _, m := range matrices {
+		for _, p := range TopPairs(PCCMatrix(m), k) {
+			common[key{p.A, p.B}]++
+		}
+	}
+	inter := 0
+	for _, c := range common {
+		if c == len(matrices) {
+			inter++
+		}
+	}
+	return float64(inter) / float64(k), nil
+}
+
+// Grouping maps OCs to merged prediction classes.
+type Grouping struct {
+	// GroupOf maps an OC index (into opt.Combinations) to its class.
+	GroupOf []int
+	// Groups lists member OC indices per class.
+	Groups [][]int
+	// Reps holds the representative OC index per class: the member that
+	// wins the most stencils across architectures.
+	Reps []int
+}
+
+// NumClasses returns the number of merged classes.
+func (g Grouping) NumClasses() int { return len(g.Groups) }
+
+// RepOC returns the representative OC of a class.
+func (g Grouping) RepOC(class int) opt.Opt { return opt.Combinations()[g.Reps[class]] }
+
+// Build merges the OCs down to target classes using the average pairwise
+// PCC across all architectures' best-time matrices, unioning the most
+// correlated pairs first. Representatives are elected by summed
+// best-stencil counts across architectures.
+func Build(matrices [][][]float64, target int) (Grouping, error) {
+	if len(matrices) == 0 {
+		return Grouping{}, fmt.Errorf("merge: no matrices")
+	}
+	n := len(matrices[0])
+	if target < 1 || target > n {
+		return Grouping{}, fmt.Errorf("merge: target %d outside [1,%d]", target, n)
+	}
+
+	// Average the per-architecture PCCs, NaN-aware.
+	avg := make([][]float64, n)
+	cnt := make([][]int, n)
+	for i := range avg {
+		avg[i] = make([]float64, n)
+		cnt[i] = make([]int, n)
+	}
+	for _, m := range matrices {
+		if len(m) != n {
+			return Grouping{}, fmt.Errorf("merge: matrix OC count %d != %d", len(m), n)
+		}
+		pcc := PCCMatrix(m)
+		for i := range pcc {
+			for j := range pcc[i] {
+				if !math.IsNaN(pcc[i][j]) {
+					avg[i][j] += pcc[i][j]
+					cnt[i][j]++
+				}
+			}
+		}
+	}
+	for i := range avg {
+		for j := range avg[i] {
+			if cnt[i][j] > 0 {
+				avg[i][j] /= float64(cnt[i][j])
+			} else {
+				avg[i][j] = math.NaN()
+			}
+		}
+	}
+
+	// Average-linkage agglomerative clustering: repeatedly merge the two
+	// clusters with the highest mean cross-pair correlation, skipping
+	// pairs whose PCC is undefined (crash-dominated OCs). Average linkage
+	// keeps genuinely interchangeable OC families (e.g. the ST_TB
+	// variants) in one class without the chaining a single-linkage
+	// union-find exhibits, so every class retains "sufficient data
+	// objects" to train on (Sec. IV-D).
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	linkage := func(a, b []int) float64 {
+		var sum float64
+		cnt := 0
+		for _, i := range a {
+			for _, j := range b {
+				if v := avg[i][j]; !math.IsNaN(v) {
+					sum += v
+					cnt++
+				}
+			}
+		}
+		if cnt == 0 {
+			return math.Inf(-1) // uncorrelatable: merge only as a last resort
+		}
+		return sum / float64(cnt)
+	}
+	for len(clusters) > target {
+		bi, bj, best := -1, -1, math.Inf(-1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if l := linkage(clusters[i], clusters[j]); l > best {
+					best, bi, bj = l, i, j
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+
+	// Assign dense class ids; sort members for deterministic output.
+	g := Grouping{GroupOf: make([]int, n)}
+	for c, members := range clusters {
+		sort.Ints(members)
+		g.Groups = append(g.Groups, members)
+		for _, m := range members {
+			g.GroupOf[m] = c
+		}
+	}
+
+	// Elect representatives by pooled best counts.
+	total := make([]int, n)
+	for _, m := range matrices {
+		for ci, c := range BestCounts(m) {
+			total[ci] += c
+		}
+	}
+	g.Reps = make([]int, len(g.Groups))
+	for c, members := range g.Groups {
+		best := members[0]
+		for _, m := range members[1:] {
+			if total[m] > total[best] {
+				best = m
+			}
+		}
+		g.Reps[c] = best
+	}
+	return g, nil
+}
+
+// Validate checks grouping invariants against the OC universe.
+func (g Grouping) Validate() error {
+	if len(g.GroupOf) != opt.NumCombinations {
+		return fmt.Errorf("merge: grouping covers %d OCs, want %d", len(g.GroupOf), opt.NumCombinations)
+	}
+	seen := make([]bool, len(g.GroupOf))
+	for c, members := range g.Groups {
+		if len(members) == 0 {
+			return fmt.Errorf("merge: empty class %d", c)
+		}
+		repOK := false
+		for _, m := range members {
+			if seen[m] {
+				return fmt.Errorf("merge: OC %d in two classes", m)
+			}
+			seen[m] = true
+			if g.GroupOf[m] != c {
+				return fmt.Errorf("merge: OC %d groupOf mismatch", m)
+			}
+			if m == g.Reps[c] {
+				repOK = true
+			}
+		}
+		if !repOK {
+			return fmt.Errorf("merge: class %d representative not a member", c)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("merge: OC %d unassigned", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package merge
+
+import (
+	"math"
+	"testing"
+
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/stencil"
+)
+
+func TestPCCMatrixBasics(t *testing.T) {
+	nan := math.NaN()
+	best := [][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},     // perfectly correlated with row 0
+		{4, 3, 2, 1},     // perfectly anti-correlated; |PCC| = 1
+		{nan, nan, 1, 2}, // too few common points
+	}
+	pcc := PCCMatrix(best)
+	// Row 1 is exactly 2x row 0: in relative-slowdown space their columns
+	// differ by a constant, so the correlation is exactly 1.
+	if math.Abs(pcc[0][1]-1) > 1e-9 {
+		t.Errorf("pcc[0][1] = %g, want 1", pcc[0][1])
+	}
+	// Anti-correlated raw rows remain correlated in |PCC| but not
+	// perfectly once normalized; the value must be finite and in (0, 1].
+	if math.IsNaN(pcc[0][2]) || pcc[0][2] <= 0 || pcc[0][2] > 1 {
+		t.Errorf("|pcc[0][2]| = %g outside (0,1]", pcc[0][2])
+	}
+	if !math.IsNaN(pcc[0][3]) {
+		t.Errorf("pcc with <3 common stencils = %g, want NaN", pcc[0][3])
+	}
+	if pcc[1][0] != pcc[0][1] {
+		t.Error("matrix not symmetric")
+	}
+	if pcc[2][2] != 1 {
+		t.Error("diagonal != 1")
+	}
+}
+
+func TestTopPairsOrderAndLimit(t *testing.T) {
+	best := [][]float64{
+		{1, 2, 3, 4, 5},
+		{1.1, 2.2, 2.9, 4.2, 5.1},
+		{5, 1, 4, 2, 3},
+	}
+	pairs := TopPairs(PCCMatrix(best), 2)
+	if len(pairs) != 2 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	if pairs[0].PCC < pairs[1].PCC {
+		t.Error("pairs not in descending PCC order")
+	}
+	if pairs[0].A != 0 || pairs[0].B != 1 {
+		t.Errorf("top pair = (%d,%d), want (0,1)", pairs[0].A, pairs[0].B)
+	}
+}
+
+func TestBestCounts(t *testing.T) {
+	nan := math.NaN()
+	best := [][]float64{
+		{1, 5, nan},
+		{2, 4, 7},
+		{3, nan, 6},
+	}
+	counts := BestCounts(best)
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	allNaN := [][]float64{{nan}, {nan}}
+	if c := BestCounts(allNaN); c[0] != 0 || c[1] != 0 {
+		t.Errorf("all-NaN counts = %v", c)
+	}
+}
+
+func realMatrices(t *testing.T) ([][][]float64, *profile.Dataset) {
+	t.Helper()
+	corpus, err := gen.MixedCorpus(10, 8, stencil.MaxOrder, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.NewProfiler(6, 11)
+	d, err := p.Collect(corpus, gpu.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms [][][]float64
+	for ai := range d.Archs {
+		ms = append(ms, d.BestTimeMatrix(ai))
+	}
+	return ms, d
+}
+
+func TestBuildGroupingOnRealData(t *testing.T) {
+	ms, _ := realMatrices(t)
+	g, err := Build(ms, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumClasses() != 5 {
+		t.Fatalf("%d classes, want 5", g.NumClasses())
+	}
+	total := 0
+	for _, members := range g.Groups {
+		total += len(members)
+	}
+	if total != opt.NumCombinations {
+		t.Fatalf("classes cover %d OCs, want %d", total, opt.NumCombinations)
+	}
+	for c := range g.Groups {
+		if !g.RepOC(c).Valid() {
+			t.Errorf("class %d rep OC invalid", c)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 5); err == nil {
+		t.Error("no matrices accepted")
+	}
+	ms, _ := realMatrices(t)
+	if _, err := Build(ms, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := Build(ms, 10_000); err == nil {
+		t.Error("absurd target accepted")
+	}
+}
+
+func TestIntersectionFraction(t *testing.T) {
+	ms, _ := realMatrices(t)
+	frac, err := IntersectionFraction(ms, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0 || frac > 1 {
+		t.Fatalf("fraction %g outside [0,1]", frac)
+	}
+	// The StencilOC noise term is shared across architectures, so a
+	// sizeable intersection must exist (paper reports 28%).
+	if frac < 0.05 {
+		t.Errorf("intersection fraction %.2f implausibly low", frac)
+	}
+	same, err := IntersectionFraction([][][]float64{ms[0], ms[0]}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 1 {
+		t.Errorf("self-intersection = %g, want 1", same)
+	}
+	if _, err := IntersectionFraction(nil, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ms, _ := realMatrices(t)
+	g, err := Build(ms, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := g
+	bad.Reps = append([]int(nil), g.Reps...)
+	bad.Reps[0] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("corrupted representative accepted")
+	}
+}

@@ -1,0 +1,23 @@
+// Package ml defines the model interfaces shared by the gradient-boosting
+// (internal/ml/tree) and neural-network (internal/ml/nn) implementations
+// the framework trains for OC selection and performance prediction.
+package ml
+
+// Classifier predicts a class label from a feature vector.
+type Classifier interface {
+	// FitClassifier trains on rows X with integer labels y in
+	// [0, numClasses).
+	FitClassifier(x [][]float64, y []int, numClasses int) error
+	// PredictClass returns the most probable class for one row.
+	PredictClass(row []float64) int
+	// PredictProba returns the per-class probabilities for one row.
+	PredictProba(row []float64) []float64
+}
+
+// Regressor predicts a scalar from a feature vector.
+type Regressor interface {
+	// FitRegressor trains on rows X with targets y.
+	FitRegressor(x [][]float64, y []float64) error
+	// PredictValue returns the prediction for one row.
+	PredictValue(row []float64) float64
+}

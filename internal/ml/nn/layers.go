@@ -1,0 +1,287 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully connected layer: out = x*W + b.
+type Dense struct {
+	in, out int
+	w, b    *Param
+	lastX   [][]float64
+}
+
+// NewDense builds a dense layer with He initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{in: in, out: out, w: newParam(in * out), b: newParam(out)}
+	heInit(d.w.W, in, rng)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x [][]float64) [][]float64 {
+	d.lastX = x
+	out := make([][]float64, len(x))
+	parallelFor(len(x), func(i int) {
+		row := x[i]
+		if len(row) != d.in {
+			panic(fmt.Sprintf("nn: dense expects width %d, got %d", d.in, len(row)))
+		}
+		o := make([]float64, d.out)
+		copy(o, d.b.W)
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			w := d.w.W[j*d.out : (j+1)*d.out]
+			for k := range o {
+				o[k] += v * w[k]
+			}
+		}
+		out[i] = o
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad [][]float64) [][]float64 {
+	out := make([][]float64, len(grad))
+	// dX can be computed per row in parallel; dW/dB accumulate serially
+	// afterward to stay deterministic.
+	parallelFor(len(grad), func(i int) {
+		g := grad[i]
+		dx := make([]float64, d.in)
+		for j := range dx {
+			w := d.w.W[j*d.out : (j+1)*d.out]
+			var s float64
+			for k := range g {
+				s += g[k] * w[k]
+			}
+			dx[j] = s
+		}
+		out[i] = dx
+	})
+	for i, g := range grad {
+		x := d.lastX[i]
+		for j, v := range x {
+			if v == 0 {
+				continue
+			}
+			gw := d.w.G[j*d.out : (j+1)*d.out]
+			for k := range g {
+				gw[k] += v * g[k]
+			}
+		}
+		for k := range g {
+			d.b.G[k] += g[k]
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim(int) int { return d.out }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask [][]bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	r.mask = make([][]bool, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		m := make([]bool, len(row))
+		for j, v := range row {
+			if v > 0 {
+				o[j] = v
+				m[j] = true
+			}
+		}
+		out[i] = o
+		r.mask[i] = m
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad [][]float64) [][]float64 {
+	out := make([][]float64, len(grad))
+	for i, g := range grad {
+		o := make([]float64, len(g))
+		for j := range g {
+			if r.mask[i][j] {
+				o[j] = g[j]
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim(in int) int { return in }
+
+// Conv is a valid-padding, stride-1 convolution over a (C, D, H, W)
+// volume; D == 1 with KD == 1 yields the 2-D case. Rows are flattened in
+// C-major, then D, H, W order.
+type Conv struct {
+	inC, outC  int
+	d, h, w    int // input spatial dims
+	kd, kh, kw int
+	od, oh, ow int
+	weight     *Param // [outC][inC][kd][kh][kw]
+	bias       *Param
+	lastX      [][]float64
+}
+
+// NewConv2D builds a 2-D convolution over an h x w single-plane input.
+func NewConv2D(inC, outC, h, w, k int, rng *rand.Rand) *Conv {
+	return newConv(inC, outC, 1, h, w, 1, k, k, rng)
+}
+
+// NewConv3D builds a 3-D convolution over a d x h x w volume.
+func NewConv3D(inC, outC, d, h, w, k int, rng *rand.Rand) *Conv {
+	return newConv(inC, outC, d, h, w, k, k, k, rng)
+}
+
+func newConv(inC, outC, d, h, w, kd, kh, kw int, rng *rand.Rand) *Conv {
+	od, oh, ow := d-kd+1, h-kh+1, w-kw+1
+	if od < 1 || oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: conv kernel %dx%dx%d larger than input %dx%dx%d", kd, kh, kw, d, h, w))
+	}
+	c := &Conv{
+		inC: inC, outC: outC, d: d, h: h, w: w,
+		kd: kd, kh: kh, kw: kw, od: od, oh: oh, ow: ow,
+		weight: newParam(outC * inC * kd * kh * kw),
+		bias:   newParam(outC),
+	}
+	heInit(c.weight.W, inC*kd*kh*kw, rng)
+	return c
+}
+
+func (c *Conv) inIdx(ch, z, y, x int) int {
+	return ((ch*c.d+z)*c.h+y)*c.w + x
+}
+
+func (c *Conv) outIdx(ch, z, y, x int) int {
+	return ((ch*c.od+z)*c.oh+y)*c.ow + x
+}
+
+func (c *Conv) wIdx(oc, ic, kz, ky, kx int) int {
+	return (((oc*c.inC+ic)*c.kd+kz)*c.kh+ky)*c.kw + kx
+}
+
+// Forward implements Layer.
+func (c *Conv) Forward(x [][]float64) [][]float64 {
+	c.lastX = x
+	want := c.inC * c.d * c.h * c.w
+	out := make([][]float64, len(x))
+	parallelFor(len(x), func(i int) {
+		row := x[i]
+		if len(row) != want {
+			panic(fmt.Sprintf("nn: conv expects width %d, got %d", want, len(row)))
+		}
+		o := make([]float64, c.outC*c.od*c.oh*c.ow)
+		for oc := 0; oc < c.outC; oc++ {
+			for z := 0; z < c.od; z++ {
+				for y := 0; y < c.oh; y++ {
+					for xx := 0; xx < c.ow; xx++ {
+						acc := c.bias.W[oc]
+						for ic := 0; ic < c.inC; ic++ {
+							for kz := 0; kz < c.kd; kz++ {
+								for ky := 0; ky < c.kh; ky++ {
+									for kx := 0; kx < c.kw; kx++ {
+										acc += row[c.inIdx(ic, z+kz, y+ky, xx+kx)] *
+											c.weight.W[c.wIdx(oc, ic, kz, ky, kx)]
+									}
+								}
+							}
+						}
+						o[c.outIdx(oc, z, y, xx)] = acc
+					}
+				}
+			}
+		}
+		out[i] = o
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv) Backward(grad [][]float64) [][]float64 {
+	out := make([][]float64, len(grad))
+	parallelFor(len(grad), func(i int) {
+		g := grad[i]
+		dx := make([]float64, c.inC*c.d*c.h*c.w)
+		for oc := 0; oc < c.outC; oc++ {
+			for z := 0; z < c.od; z++ {
+				for y := 0; y < c.oh; y++ {
+					for xx := 0; xx < c.ow; xx++ {
+						gv := g[c.outIdx(oc, z, y, xx)]
+						if gv == 0 {
+							continue
+						}
+						for ic := 0; ic < c.inC; ic++ {
+							for kz := 0; kz < c.kd; kz++ {
+								for ky := 0; ky < c.kh; ky++ {
+									for kx := 0; kx < c.kw; kx++ {
+										dx[c.inIdx(ic, z+kz, y+ky, xx+kx)] +=
+											gv * c.weight.W[c.wIdx(oc, ic, kz, ky, kx)]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		out[i] = dx
+	})
+	// Weight/bias gradients accumulate serially for determinism.
+	for i, g := range grad {
+		row := c.lastX[i]
+		for oc := 0; oc < c.outC; oc++ {
+			for z := 0; z < c.od; z++ {
+				for y := 0; y < c.oh; y++ {
+					for xx := 0; xx < c.ow; xx++ {
+						gv := g[c.outIdx(oc, z, y, xx)]
+						if gv == 0 {
+							continue
+						}
+						c.bias.G[oc] += gv
+						for ic := 0; ic < c.inC; ic++ {
+							for kz := 0; kz < c.kd; kz++ {
+								for ky := 0; ky < c.kh; ky++ {
+									for kx := 0; kx < c.kw; kx++ {
+										c.weight.G[c.wIdx(oc, ic, kz, ky, kx)] +=
+											gv * row[c.inIdx(ic, z+kz, y+ky, xx+kx)]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (c *Conv) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// OutDim implements Layer.
+func (c *Conv) OutDim(int) int { return c.outC * c.od * c.oh * c.ow }

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stencilmart/internal/tensor"
+)
+
+// TwoBranch routes the first splitAt features through branch A (e.g. a
+// convolutional stack over the assigned tensor) and the remainder through
+// branch B (e.g. identity over the parameter/hardware features), then
+// concatenates the outputs — the ConvMLP merge of Fig. 8.
+type TwoBranch struct {
+	splitAt int
+	a, b    *Network
+	aOut    int
+}
+
+// NewTwoBranch builds the layer; aOut is branch A's flat output width.
+func NewTwoBranch(splitAt int, a, b *Network, aOut int) *TwoBranch {
+	return &TwoBranch{splitAt: splitAt, a: a, b: b, aOut: aOut}
+}
+
+// Forward implements Layer.
+func (t *TwoBranch) Forward(x [][]float64) [][]float64 {
+	xa := make([][]float64, len(x))
+	xb := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) < t.splitAt {
+			panic(fmt.Sprintf("nn: two-branch expects >= %d features, got %d", t.splitAt, len(row)))
+		}
+		xa[i] = row[:t.splitAt]
+		xb[i] = row[t.splitAt:]
+	}
+	oa := t.a.Forward(xa)
+	ob := t.b.Forward(xb)
+	out := make([][]float64, len(x))
+	for i := range out {
+		row := make([]float64, len(oa[i])+len(ob[i]))
+		copy(row, oa[i])
+		copy(row[len(oa[i]):], ob[i])
+		out[i] = row
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (t *TwoBranch) Backward(grad [][]float64) [][]float64 {
+	ga := make([][]float64, len(grad))
+	gb := make([][]float64, len(grad))
+	for i, g := range grad {
+		ga[i] = g[:t.aOut]
+		gb[i] = g[t.aOut:]
+	}
+	da := t.a.Backward(ga)
+	db := t.b.Backward(gb)
+	out := make([][]float64, len(grad))
+	for i := range out {
+		row := make([]float64, len(da[i])+len(db[i]))
+		copy(row, da[i])
+		copy(row[len(da[i]):], db[i])
+		out[i] = row
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *TwoBranch) Params() []*Param {
+	return append(t.a.Params(), t.b.Params()...)
+}
+
+// OutDim implements Layer.
+func (t *TwoBranch) OutDim(in int) int {
+	return t.aOut + (in - t.splitAt) // identity-width branch B by default
+}
+
+// convStack builds the two-convolution feature extractor over the
+// assigned tensor (Figs. 7 and 8): 3^d kernels, 8 then 16 filters.
+func convStack(dims int, rng *rand.Rand) (*Network, int) {
+	side := tensor.Side
+	if dims == 2 {
+		c1 := NewConv2D(1, 8, side, side, 3, rng)
+		c2 := NewConv2D(8, 16, side-2, side-2, 3, rng)
+		out := c2.OutDim(0)
+		return NewNetwork(c1, NewReLU(), c2, NewReLU()), out
+	}
+	c1 := NewConv3D(1, 8, side, side, side, 3, rng)
+	c2 := NewConv3D(8, 16, side-2, side-2, side-2, 3, rng)
+	out := c2.OutDim(0)
+	return NewNetwork(c1, NewReLU(), c2, NewReLU()), out
+}
+
+// NewConvNet builds the paper's ConvNet classifier (Fig. 7): two
+// convolutional layers over the binary tensor followed by fully connected
+// layers emitting per-OC-class scores.
+func NewConvNet(dims, classes int, cfg TrainConfig, seed int64) (*Classifier, error) {
+	if dims != 2 && dims != 3 {
+		return nil, fmt.Errorf("nn: ConvNet dims must be 2 or 3, got %d", dims)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("nn: ConvNet needs >= 2 classes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	conv, convOut := convStack(dims, rng)
+	layers := append([]Layer{}, conv.layers...)
+	layers = append(layers,
+		NewDense(convOut, 64, rng), NewReLU(),
+		NewDense(64, classes, rng),
+	)
+	return &Classifier{Net: NewNetwork(layers...), Cfg: cfg}, nil
+}
+
+// NewFcNet builds the paper's FcNet classifier: fully connected layers
+// only, consuming the flattened tensor plus feature vector.
+func NewFcNet(inDim, classes, hiddenLayers, width int, cfg TrainConfig, seed int64) (*Classifier, error) {
+	if inDim < 1 || classes < 2 || hiddenLayers < 1 || width < 1 {
+		return nil, fmt.Errorf("nn: invalid FcNet shape in=%d classes=%d layers=%d width=%d",
+			inDim, classes, hiddenLayers, width)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var layers []Layer
+	prev := inDim
+	for i := 0; i < hiddenLayers; i++ {
+		layers = append(layers, NewDense(prev, width, rng), NewReLU())
+		prev = width
+	}
+	layers = append(layers, NewDense(prev, classes, rng))
+	return &Classifier{Net: NewNetwork(layers...), Cfg: cfg}, nil
+}
+
+// NewMLP builds the paper's MLP regressor (Sec. IV-E): an input layer,
+// hiddenLayers hidden layers of the given width, and a scalar output.
+func NewMLP(inDim, hiddenLayers, width int, cfg TrainConfig, seed int64) (*Regressor, error) {
+	if inDim < 1 || hiddenLayers < 1 || width < 1 {
+		return nil, fmt.Errorf("nn: invalid MLP shape in=%d layers=%d width=%d", inDim, hiddenLayers, width)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var layers []Layer
+	prev := inDim
+	for i := 0; i < hiddenLayers; i++ {
+		layers = append(layers, NewDense(prev, width, rng), NewReLU())
+		prev = width
+	}
+	layers = append(layers, NewDense(prev, 1, rng))
+	return &Regressor{Net: NewNetwork(layers...), Cfg: cfg}, nil
+}
+
+// NewConvMLP builds the paper's ConvMLP regressor (Fig. 8): a CNN over
+// the assigned tensor merged with an MLP over the parameter-setting and
+// hardware features, joined by fully connected layers into a scalar
+// prediction. featDim is the width of the non-tensor feature tail.
+func NewConvMLP(dims, featDim int, cfg TrainConfig, seed int64) (*Regressor, error) {
+	if dims != 2 && dims != 3 {
+		return nil, fmt.Errorf("nn: ConvMLP dims must be 2 or 3, got %d", dims)
+	}
+	if featDim < 1 {
+		return nil, fmt.Errorf("nn: ConvMLP needs a non-empty feature tail")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tensorDim := tensor.Side * tensor.Side
+	if dims == 3 {
+		tensorDim *= tensor.Side
+	}
+	conv, convOut := convStack(dims, rng)
+	featNet := NewNetwork(NewDense(featDim, 32, rng), NewReLU())
+	branch := NewTwoBranch(tensorDim, conv, featNet, convOut)
+	head := []Layer{
+		branch,
+		NewDense(convOut+32, 64, rng), NewReLU(),
+		NewDense(64, 1, rng),
+	}
+	return &Regressor{Net: NewNetwork(head...), Cfg: cfg}, nil
+}

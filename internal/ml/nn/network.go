@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Adam is the Adam optimizer over a set of parameter blocks.
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	m, v                  [][]float64
+	t                     int
+	params                []*Param
+}
+
+// NewAdam prepares Adam state for the given parameters. lr <= 0 defaults
+// to 1e-3.
+func NewAdam(params []*Param, lr float64) *Adam {
+	if lr <= 0 {
+		lr = 1e-3
+	}
+	a := &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p.W)))
+		a.v = append(a.v, make([]float64, len(p.W)))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients, then
+// clears them.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = a.beta1*m[i] + (1-a.beta1)*g
+			v[i] = a.beta2*v[i] + (1-a.beta2)*g*g
+			p.W[i] -= a.lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.eps)
+		}
+		p.zeroGrad()
+	}
+}
+
+// Network is a sequential layer stack.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a sequential network.
+func NewNetwork(layers ...Layer) *Network { return &Network{layers: layers} }
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x [][]float64) [][]float64 {
+	for _, l := range n.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates output gradients through every layer.
+func (n *Network) Backward(grad [][]float64) [][]float64 {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad = n.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params collects all trainable parameters.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total trainable scalar count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// TrainConfig controls minibatch training.
+type TrainConfig struct {
+	// Epochs is the number of full passes; 0 means 30.
+	Epochs int
+	// Batch is the minibatch size; 0 means 50.
+	Batch int
+	// LR is the Adam learning rate; 0 means 1e-3.
+	LR float64
+	// Seed shuffles minibatches deterministically.
+	Seed int64
+}
+
+func (c *TrainConfig) setDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.Batch == 0 {
+		c.Batch = 50
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+}
+
+// softmaxRow returns softmax probabilities for one score row.
+func softmaxRow(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	maxv := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxv {
+			maxv = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		out[i] = math.Exp(s - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// trainLoop is the shared minibatch loop; lossGrad maps a batch of
+// outputs and target indices to output gradients.
+func trainLoop(net *Network, x [][]float64, cfg TrainConfig,
+	lossGrad func(out [][]float64, batchIdx []int) [][]float64) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	adam := NewAdam(net.Params(), cfg.LR)
+	n := len(x)
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := rng.Perm(n)
+		for lo := 0; lo < n; lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > n {
+				hi = n
+			}
+			idx := perm[lo:hi]
+			batch := make([][]float64, len(idx))
+			for i, p := range idx {
+				batch[i] = x[p]
+			}
+			out := net.Forward(batch)
+			net.Backward(lossGrad(out, idx))
+			adam.Step()
+		}
+	}
+}
+
+// Classifier wraps a network with a softmax cross-entropy head; it
+// implements ml.Classifier.
+type Classifier struct {
+	Net     *Network
+	Cfg     TrainConfig
+	classes int
+}
+
+// FitClassifier implements ml.Classifier.
+func (c *Classifier) FitClassifier(x [][]float64, y []int, numClasses int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("nn: classifier fit with %d rows, %d labels", len(x), len(y))
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("nn: classifier needs >= 2 classes, got %d", numClasses)
+	}
+	c.classes = numClasses
+	trainLoop(c.Net, x, c.Cfg, func(out [][]float64, idx []int) [][]float64 {
+		grads := make([][]float64, len(out))
+		scale := 1 / float64(len(out))
+		for i, row := range out {
+			p := softmaxRow(row)
+			g := make([]float64, len(p))
+			for k := range p {
+				g[k] = p[k] * scale
+			}
+			g[y[idx[i]]] -= scale
+			grads[i] = g
+		}
+		return grads
+	})
+	return nil
+}
+
+// PredictProba implements ml.Classifier.
+func (c *Classifier) PredictProba(row []float64) []float64 {
+	out := c.Net.Forward([][]float64{row})
+	return softmaxRow(out[0])
+}
+
+// PredictClass implements ml.Classifier.
+func (c *Classifier) PredictClass(row []float64) int {
+	p := c.PredictProba(row)
+	best := 0
+	for k := range p {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// Regressor wraps a network with an MSE head; the final layer must output
+// one value. It implements ml.Regressor.
+type Regressor struct {
+	Net *Network
+	Cfg TrainConfig
+}
+
+// FitRegressor implements ml.Regressor.
+func (r *Regressor) FitRegressor(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("nn: regressor fit with %d rows, %d targets", len(x), len(y))
+	}
+	trainLoop(r.Net, x, r.Cfg, func(out [][]float64, idx []int) [][]float64 {
+		grads := make([][]float64, len(out))
+		scale := 2 / float64(len(out))
+		for i, row := range out {
+			grads[i] = []float64{(row[0] - y[idx[i]]) * scale}
+		}
+		return grads
+	})
+	return nil
+}
+
+// PredictValue implements ml.Regressor.
+func (r *Regressor) PredictValue(row []float64) float64 {
+	return r.Net.Forward([][]float64{row})[0][0]
+}

@@ -1,0 +1,88 @@
+// Package nn is a from-scratch minibatch neural-network framework — the
+// stdlib-only stand-in for the TensorFlow models in the paper. It provides
+// dense and 2-D/3-D convolutional layers, ReLU, softmax cross-entropy and
+// MSE losses, the Adam optimizer, and builders for the paper's four
+// architectures: ConvNet and FcNet (classification, Sec. IV-D), MLP and
+// ConvMLP (regression, Sec. IV-E).
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Param is one trainable parameter block with its gradient accumulator.
+type Param struct {
+	W []float64
+	G []float64
+}
+
+func newParam(n int) *Param {
+	return &Param{W: make([]float64, n), G: make([]float64, n)}
+}
+
+// zeroGrad clears the gradient accumulator.
+func (p *Param) zeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is one differentiable network stage operating on batches of flat
+// rows.
+type Layer interface {
+	// Forward consumes a batch and returns the activations, caching
+	// whatever Backward needs.
+	Forward(x [][]float64) [][]float64
+	// Backward consumes dLoss/dOut, accumulates parameter gradients, and
+	// returns dLoss/dIn.
+	Backward(grad [][]float64) [][]float64
+	// Params returns the trainable parameters (nil for stateless layers).
+	Params() []*Param
+	// OutDim returns the flat output width given the input width.
+	OutDim(in int) int
+}
+
+// heInit fills a weight slice with He-normal values for fanIn inputs.
+func heInit(w []float64, fanIn int, rng *rand.Rand) {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+}
+
+// parallelFor runs f over [0, n) split across GOMAXPROCS goroutines; it
+// falls back to a serial loop for small n.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < 4 || workers < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(lo int) {
+			defer wg.Done()
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(w * chunk)
+	}
+	wg.Wait()
+}

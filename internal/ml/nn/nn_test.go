@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stencilmart/internal/tensor"
+)
+
+// numericGradCheck compares analytic input gradients against central
+// finite differences for a scalar loss L = sum(out^2)/2.
+func numericGradCheck(t *testing.T, layer Layer, in []float64, tol float64) {
+	t.Helper()
+	forward := func(x []float64) float64 {
+		out := layer.Forward([][]float64{x})[0]
+		var s float64
+		for _, v := range out {
+			s += v * v / 2
+		}
+		return s
+	}
+	out := layer.Forward([][]float64{in})[0]
+	grad := make([]float64, len(out))
+	copy(grad, out) // dL/dout = out
+	analytic := layer.Backward([][]float64{grad})[0]
+
+	const eps = 1e-5
+	for j := range in {
+		orig := in[j]
+		x := append([]float64(nil), in...)
+		x[j] = orig + eps
+		up := forward(x)
+		x[j] = orig - eps
+		down := forward(x)
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-analytic[j]) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("input grad %d: analytic %g vs numeric %g", j, analytic[j], numeric)
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(5, 3, rng)
+	in := make([]float64, 5)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	numericGradCheck(t, d, in, 1e-4)
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(1, 2, 5, 5, 3, rng)
+	in := make([]float64, 25)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	numericGradCheck(t, c, in, 1e-4)
+}
+
+func TestConv3DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv3D(1, 2, 4, 4, 4, 3, rng)
+	in := make([]float64, 64)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	numericGradCheck(t, c, in, 1e-4)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	out := r.Forward([][]float64{{-1, 0, 2}})
+	if out[0][0] != 0 || out[0][1] != 0 || out[0][2] != 2 {
+		t.Errorf("ReLU forward = %v", out[0])
+	}
+	g := r.Backward([][]float64{{5, 5, 5}})
+	if g[0][0] != 0 || g[0][1] != 0 || g[0][2] != 5 {
+		t.Errorf("ReLU backward = %v", g[0])
+	}
+}
+
+func TestDenseWeightGradients(t *testing.T) {
+	// One row, identity-like check: for out = x*W + b,
+	// dW[j][k] = x[j] * g[k] and db = g.
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense(2, 2, rng)
+	x := []float64{3, -2}
+	d.Forward([][]float64{x})
+	d.Backward([][]float64{{1, 10}})
+	wantW := []float64{3, 30, -2, -20}
+	for i, w := range wantW {
+		if math.Abs(d.w.G[i]-w) > 1e-12 {
+			t.Errorf("dW[%d] = %g, want %g", i, d.w.G[i], w)
+		}
+	}
+	if d.b.G[0] != 1 || d.b.G[1] != 10 {
+		t.Errorf("db = %v", d.b.G)
+	}
+}
+
+func TestAdamReducesQuadratic(t *testing.T) {
+	p := newParam(1)
+	p.W[0] = 5
+	a := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		p.G[0] = 2 * p.W[0] // d/dw of w^2
+		a.Step()
+	}
+	if math.Abs(p.W[0]) > 0.05 {
+		t.Errorf("Adam failed to minimize: w = %g", p.W[0])
+	}
+}
+
+func TestClassifierLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	centers := [][]float64{{0, 0}, {3, 0}, {0, 3}}
+	for i := 0; i < 240; i++ {
+		k := i % 3
+		x = append(x, []float64{
+			centers[k][0] + rng.NormFloat64()*0.4,
+			centers[k][1] + rng.NormFloat64()*0.4,
+		})
+		y = append(y, k)
+	}
+	cls, err := NewFcNet(2, 3, 2, 16, TrainConfig{Epochs: 60, Batch: 32, LR: 5e-3, Seed: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.FitClassifier(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range x {
+		if cls.PredictClass(x[i]) == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(x)); acc < 0.95 {
+		t.Errorf("FcNet blob accuracy %.3f < 0.95", acc)
+	}
+	p := cls.PredictProba(x[0])
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestMLPRegressionLearnsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		row := []float64{rng.Float64(), rng.Float64()}
+		x = append(x, row)
+		y = append(y, 2*row[0]-3*row[1]+1)
+	}
+	mlp, err := NewMLP(2, 2, 16, TrainConfig{Epochs: 120, Batch: 32, LR: 5e-3, Seed: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mlp.FitRegressor(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range x {
+		d := mlp.PredictValue(x[i]) - y[i]
+		mse += d * d
+	}
+	mse /= float64(len(x))
+	if mse > 0.02 {
+		t.Errorf("MLP MSE %.4f > 0.02", mse)
+	}
+}
+
+func TestConvNetShapeAndTraining(t *testing.T) {
+	cls, err := NewConvNet(2, 4, TrainConfig{Epochs: 5, Batch: 16, LR: 2e-3, Seed: 3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.Side * tensor.Side
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		row := make([]float64, in)
+		k := i % 4
+		// Put a class-dependent blob in a corner so the task is learnable.
+		row[k] = 1
+		for j := 0; j < 8; j++ {
+			row[rng.Intn(in)] = 1
+		}
+		x = append(x, row)
+		y = append(y, k)
+	}
+	if err := cls.FitClassifier(x, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := cls.PredictClass(x[0]); got < 0 || got > 3 {
+		t.Errorf("class %d out of range", got)
+	}
+}
+
+func TestConvMLPForwardBackward(t *testing.T) {
+	reg, err := NewConvMLP(2, 6, TrainConfig{Epochs: 2, Batch: 8, LR: 1e-3, Seed: 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.Side*tensor.Side + 6
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 24; i++ {
+		row := make([]float64, in)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x = append(x, row)
+		y = append(y, rng.Float64())
+	}
+	if err := reg.FitRegressor(x, y); err != nil {
+		t.Fatal(err)
+	}
+	v := reg.PredictValue(x[0])
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("ConvMLP prediction %g", v)
+	}
+}
+
+func TestTwoBranchSplitsAndConcats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewNetwork(NewDense(2, 3, rng))
+	b := NewNetwork() // identity
+	tb := NewTwoBranch(2, a, b, 3)
+	out := tb.Forward([][]float64{{1, 2, 9, 8}})
+	if len(out[0]) != 5 {
+		t.Fatalf("two-branch output width %d, want 5", len(out[0]))
+	}
+	if out[0][3] != 9 || out[0][4] != 8 {
+		t.Errorf("identity tail mangled: %v", out[0])
+	}
+	grads := tb.Backward([][]float64{{1, 1, 1, 7, 6}})
+	if len(grads[0]) != 4 {
+		t.Fatalf("two-branch input grad width %d, want 4", len(grads[0]))
+	}
+	if grads[0][2] != 7 || grads[0][3] != 6 {
+		t.Errorf("identity grads mangled: %v", grads[0])
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewConvNet(4, 5, TrainConfig{}, 1); err == nil {
+		t.Error("ConvNet dims=4 accepted")
+	}
+	if _, err := NewConvNet(2, 1, TrainConfig{}, 1); err == nil {
+		t.Error("ConvNet 1 class accepted")
+	}
+	if _, err := NewFcNet(0, 2, 1, 8, TrainConfig{}, 1); err == nil {
+		t.Error("FcNet inDim=0 accepted")
+	}
+	if _, err := NewMLP(3, 0, 8, TrainConfig{}, 1); err == nil {
+		t.Error("MLP 0 layers accepted")
+	}
+	if _, err := NewConvMLP(2, 0, TrainConfig{}, 1); err == nil {
+		t.Error("ConvMLP featDim=0 accepted")
+	}
+}
+
+func TestNetworkNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := NewNetwork(NewDense(4, 8, rng), NewReLU(), NewDense(8, 2, rng))
+	want := (4*8 + 8) + (8*2 + 2)
+	if got := n.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	cls, _ := NewFcNet(2, 2, 1, 4, TrainConfig{}, 1)
+	if err := cls.FitClassifier(nil, nil, 2); err == nil {
+		t.Error("empty classifier fit accepted")
+	}
+	if err := cls.FitClassifier([][]float64{{1, 2}}, []int{0}, 1); err == nil {
+		t.Error("single-class fit accepted")
+	}
+	mlp, _ := NewMLP(2, 1, 4, TrainConfig{}, 1)
+	if err := mlp.FitRegressor([][]float64{{1, 2}}, nil); err == nil {
+		t.Error("mismatched regressor fit accepted")
+	}
+}

@@ -1,0 +1,235 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BoostConfig controls gradient boosting for both the classifier and the
+// regressor.
+type BoostConfig struct {
+	// Rounds is the number of boosting iterations; 0 means 60.
+	Rounds int
+	// LearningRate is the shrinkage; 0 means 0.1.
+	LearningRate float64
+	// Subsample is the per-round row-sampling fraction; 0 means 0.8.
+	Subsample float64
+	// Tree configures the base learners.
+	Tree TreeConfig
+	// Seed drives row subsampling.
+	Seed int64
+}
+
+func (c *BoostConfig) setDefaults() {
+	if c.Rounds == 0 {
+		c.Rounds = 60
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 0.8
+	}
+	c.Tree.setDefaults()
+}
+
+// sampleRows draws a subsample of row indices without replacement.
+func sampleRows(n int, frac float64, rng *rand.Rand) []int {
+	k := int(frac * float64(n))
+	if k < 2 {
+		k = n
+	}
+	perm := rng.Perm(n)
+	idx := perm[:k]
+	return idx
+}
+
+// GBRegressor is a gradient-boosted regression ensemble with squared
+// loss — the stand-in for the paper's XGBoost GBRegressor.
+type GBRegressor struct {
+	cfg   BoostConfig
+	base  float64
+	trees []*Tree
+}
+
+// NewGBRegressor returns an unfitted regressor.
+func NewGBRegressor(cfg BoostConfig) *GBRegressor {
+	cfg.setDefaults()
+	return &GBRegressor{cfg: cfg}
+}
+
+// FitRegressor implements ml.Regressor.
+func (g *GBRegressor) FitRegressor(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("tree: GBRegressor fit with %d rows, %d targets", len(x), len(y))
+	}
+	rng := rand.New(rand.NewSource(g.cfg.Seed + 1))
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(len(y))
+
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	resid := make([]float64, len(y))
+	g.trees = g.trees[:0]
+	for round := 0; round < g.cfg.Rounds; round++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+		}
+		idx := sampleRows(len(y), g.cfg.Subsample, rng)
+		t, err := FitTree(x, resid, nil, idx, g.cfg.Tree)
+		if err != nil {
+			return err
+		}
+		g.trees = append(g.trees, t)
+		for i := range pred {
+			pred[i] += g.cfg.LearningRate * t.Predict(x[i])
+		}
+	}
+	return nil
+}
+
+// PredictValue implements ml.Regressor.
+func (g *GBRegressor) PredictValue(row []float64) float64 {
+	out := g.base
+	for _, t := range g.trees {
+		out += g.cfg.LearningRate * t.Predict(row)
+	}
+	return out
+}
+
+// NumTrees returns the fitted ensemble size.
+func (g *GBRegressor) NumTrees() int { return len(g.trees) }
+
+// GBDT is a gradient-boosted multiclass classifier with softmax loss —
+// the stand-in for the paper's XGBoost GBDT. Each round fits one tree per
+// class to the softmax gradient with Newton leaf values.
+type GBDT struct {
+	cfg     BoostConfig
+	classes int
+	prior   []float64
+	trees   [][]*Tree // [round][class]
+}
+
+// NewGBDT returns an unfitted classifier.
+func NewGBDT(cfg BoostConfig) *GBDT {
+	cfg.setDefaults()
+	return &GBDT{cfg: cfg}
+}
+
+// FitClassifier implements ml.Classifier.
+func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("tree: GBDT fit with %d rows, %d labels", len(x), len(y))
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("tree: GBDT needs >= 2 classes, got %d", numClasses)
+	}
+	for i, l := range y {
+		if l < 0 || l >= numClasses {
+			return fmt.Errorf("tree: label %d at row %d outside [0,%d)", l, i, numClasses)
+		}
+	}
+	rng := rand.New(rand.NewSource(g.cfg.Seed + 2))
+	g.classes = numClasses
+
+	// Log-prior initialization.
+	counts := make([]float64, numClasses)
+	for _, l := range y {
+		counts[l]++
+	}
+	g.prior = make([]float64, numClasses)
+	for k := range g.prior {
+		g.prior[k] = math.Log((counts[k] + 1) / float64(len(y)+numClasses))
+	}
+
+	n := len(x)
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = append([]float64(nil), g.prior...)
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	g.trees = g.trees[:0]
+	kf := float64(numClasses-1) / float64(numClasses)
+
+	for round := 0; round < g.cfg.Rounds; round++ {
+		roundTrees := make([]*Tree, numClasses)
+		probs := make([][]float64, n)
+		for i := range scores {
+			probs[i] = softmax(scores[i])
+		}
+		idx := sampleRows(n, g.cfg.Subsample, rng)
+		for k := 0; k < numClasses; k++ {
+			for i := range x {
+				yk := 0.0
+				if y[i] == k {
+					yk = 1
+				}
+				p := probs[i][k]
+				grad[i] = (yk - p) * kf
+				hess[i] = p * (1 - p) * kf
+			}
+			t, err := FitTree(x, grad, hess, idx, g.cfg.Tree)
+			if err != nil {
+				return err
+			}
+			roundTrees[k] = t
+			for i := range scores {
+				scores[i][k] += g.cfg.LearningRate * t.Predict(x[i])
+			}
+		}
+		g.trees = append(g.trees, roundTrees)
+	}
+	return nil
+}
+
+// PredictProba implements ml.Classifier.
+func (g *GBDT) PredictProba(row []float64) []float64 {
+	scores := append([]float64(nil), g.prior...)
+	for _, round := range g.trees {
+		for k, t := range round {
+			scores[k] += g.cfg.LearningRate * t.Predict(row)
+		}
+	}
+	return softmax(scores)
+}
+
+// PredictClass implements ml.Classifier.
+func (g *GBDT) PredictClass(row []float64) int {
+	p := g.PredictProba(row)
+	best := 0
+	for k := range p {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// NumClasses returns the number of classes fitted.
+func (g *GBDT) NumClasses() int { return g.classes }
+
+func softmax(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	maxv := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxv {
+			maxv = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		out[i] = math.Exp(s - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package tree implements CART regression trees and gradient boosting:
+// GBDT for multiclass OC selection and GBRegressor for execution-time
+// regression — the from-scratch stand-ins for the paper's XGBoost models.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// node is one regression-tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	value       float64
+	left, right *node
+}
+
+// Tree is a fitted CART regression tree.
+type Tree struct {
+	root *node
+}
+
+// TreeConfig controls tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds the tree depth; 0 means 4.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 means 2.
+	MinLeaf int
+}
+
+func (c *TreeConfig) setDefaults() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+}
+
+// FitTree builds a regression tree on rows x (selected by idx) against
+// target values y, minimizing squared error with exact greedy splits. The
+// optional hessian weights h (nil = unweighted) make the leaf values
+// Newton steps, as gradient-boosted classification requires.
+func FitTree(x [][]float64, y, h []float64, idx []int, cfg TreeConfig) (*Tree, error) {
+	if len(x) == 0 || len(y) != len(x) {
+		return nil, fmt.Errorf("tree: %d rows, %d targets", len(x), len(y))
+	}
+	if h != nil && len(h) != len(x) {
+		return nil, fmt.Errorf("tree: %d rows, %d hessians", len(x), len(h))
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("tree: empty index set")
+	}
+	cfg.setDefaults()
+	b := &builder{x: x, y: y, h: h, cfg: cfg}
+	return &Tree{root: b.build(append([]int(nil), idx...), 0)}, nil
+}
+
+type builder struct {
+	x   [][]float64
+	y   []float64
+	h   []float64
+	cfg TreeConfig
+}
+
+// leafValue returns sum(g)/sum(h) (Newton step) or the mean when
+// unweighted. A small ridge term keeps the division stable.
+func (b *builder) leafValue(idx []int) float64 {
+	var sg, sh float64
+	for _, i := range idx {
+		sg += b.y[i]
+		if b.h != nil {
+			sh += b.h[i]
+		} else {
+			sh++
+		}
+	}
+	return sg / (sh + 1e-9)
+}
+
+// impurity is the weighted sum of squares proxy: -(sum g)^2 / sum h.
+func gainTerm(sg, sh float64) float64 { return sg * sg / (sh + 1e-9) }
+
+func (b *builder) build(idx []int, depth int) *node {
+	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf {
+		return &node{feature: -1, value: b.leafValue(idx)}
+	}
+	feat, thr, ok := b.bestSplit(idx)
+	if !ok {
+		return &node{feature: -1, value: b.leafValue(idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      b.build(left, depth+1),
+		right:     b.build(right, depth+1),
+	}
+}
+
+// bestSplit scans every feature for the split maximizing gain.
+func (b *builder) bestSplit(idx []int) (feat int, thr float64, ok bool) {
+	var totG, totH float64
+	for _, i := range idx {
+		totG += b.y[i]
+		totH += b.weight(i)
+	}
+	parent := gainTerm(totG, totH)
+	bestGain := 1e-12
+	nf := len(b.x[idx[0]])
+	order := append([]int(nil), idx...)
+	for f := 0; f < nf; f++ {
+		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+		var lg, lh float64
+		ln := 0
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			lg += b.y[i]
+			lh += b.weight(i)
+			ln++
+			// Only split between distinct feature values.
+			if b.x[order[k]][f] == b.x[order[k+1]][f] {
+				continue
+			}
+			if ln < b.cfg.MinLeaf || len(order)-ln < b.cfg.MinLeaf {
+				continue
+			}
+			gain := gainTerm(lg, lh) + gainTerm(totG-lg, totH-lh) - parent
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (b.x[order[k]][f] + b.x[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func (b *builder) weight(i int) float64 {
+	if b.h != nil {
+		return b.h[i]
+	}
+	return 1
+}
+
+// Predict evaluates the tree on one row.
+func (t *Tree) Predict(row []float64) float64 {
+	n := t.root
+	for n.feature >= 0 {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the tree depth (leaf-only tree has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return leaves(t.root) }
+
+func leaves(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.feature < 0 {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}

@@ -1,0 +1,242 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func TestFitTreeStepFunction(t *testing.T) {
+	// y = 1 when x0 > 0.5 else 0: a single split recovers it exactly.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		v := float64(i) / 40
+		x = append(x, []float64{v, 0.5})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tr, err := FitTree(x, y, nil, allIdx(len(x)), TreeConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.1, 0.5}); math.Abs(got) > 1e-9 {
+		t.Errorf("low side = %g, want 0", got)
+	}
+	if got := tr.Predict([]float64{0.9, 0.5}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("high side = %g, want 1", got)
+	}
+	if tr.Depth() < 1 || tr.NumLeaves() < 2 {
+		t.Errorf("degenerate tree: depth=%d leaves=%d", tr.Depth(), tr.NumLeaves())
+	}
+}
+
+func TestFitTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	tr, err := FitTree(x, y, nil, allIdx(4), TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Errorf("constant target grew %d leaves", tr.NumLeaves())
+	}
+	if got := tr.Predict([]float64{2.5}); math.Abs(got-7) > 1e-6 {
+		t.Errorf("predict = %g, want 7", got)
+	}
+}
+
+func TestFitTreeErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, nil, nil, TreeConfig{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, nil, []int{0}, TreeConfig{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1}, []float64{1, 2}, []int{0}, TreeConfig{}); err == nil {
+		t.Error("hessian mismatch accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1}, nil, nil, TreeConfig{}); err == nil {
+		t.Error("empty index set accepted")
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		x = append(x, row)
+		y = append(y, rng.NormFloat64())
+	}
+	for _, d := range []int{1, 2, 3, 5} {
+		tr, err := FitTree(x, y, nil, allIdx(len(x)), TreeConfig{MaxDepth: d, MinLeaf: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Depth() > d {
+			t.Errorf("depth %d exceeds max %d", tr.Depth(), d)
+		}
+	}
+}
+
+func TestGBRegressorFitsSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	f := func(r []float64) float64 { return 3*r[0] - 2*r[1]*r[1] + r[0]*r[1] }
+	for i := 0; i < 400; i++ {
+		row := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		x = append(x, row)
+		y = append(y, f(row))
+	}
+	g := NewGBRegressor(BoostConfig{Rounds: 80, Tree: TreeConfig{MaxDepth: 4}})
+	if err := g.FitRegressor(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != 80 {
+		t.Errorf("ensemble size %d, want 80", g.NumTrees())
+	}
+	var sse, sst, mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for i, row := range x {
+		d := g.PredictValue(row) - y[i]
+		sse += d * d
+		sst += (y[i] - mean) * (y[i] - mean)
+	}
+	r2 := 1 - sse/sst
+	if r2 < 0.95 {
+		t.Errorf("training R^2 = %.3f, want >= 0.95", r2)
+	}
+}
+
+func TestGBRegressorErrors(t *testing.T) {
+	g := NewGBRegressor(BoostConfig{})
+	if err := g.FitRegressor(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := g.FitRegressor([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched fit accepted")
+	}
+}
+
+func TestGBDTSeparableClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	// Three Gaussian blobs.
+	centers := [][]float64{{0, 0}, {4, 0}, {2, 4}}
+	for i := 0; i < 300; i++ {
+		k := i % 3
+		x = append(x, []float64{
+			centers[k][0] + rng.NormFloat64()*0.5,
+			centers[k][1] + rng.NormFloat64()*0.5,
+		})
+		y = append(y, k)
+	}
+	g := NewGBDT(BoostConfig{Rounds: 30, Tree: TreeConfig{MaxDepth: 3}})
+	if err := g.FitClassifier(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i, row := range x {
+		if g.PredictClass(row) == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(x)); acc < 0.95 {
+		t.Errorf("training accuracy %.3f, want >= 0.95", acc)
+	}
+	p := g.PredictProba(x[0])
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability %g outside [0,1]", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if g.NumClasses() != 3 {
+		t.Errorf("NumClasses = %d", g.NumClasses())
+	}
+}
+
+func TestGBDTErrors(t *testing.T) {
+	g := NewGBDT(BoostConfig{})
+	if err := g.FitClassifier(nil, nil, 2); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := g.FitClassifier([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Error("single class accepted")
+	}
+	if err := g.FitClassifier([][]float64{{1}}, []int{5}, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestSoftmaxStable(t *testing.T) {
+	p := softmax([]float64{1000, 1001, 999})
+	var sum float64
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflow: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %g", sum)
+	}
+	if p[1] < p[0] || p[1] < p[2] {
+		t.Errorf("softmax ordering wrong: %v", p)
+	}
+}
+
+// Property: tree predictions are always one of the leaf values — i.e.
+// bounded by [min(y), max(y)] for unweighted fits.
+func TestQuickTreePredictionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = rng.NormFloat64()
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		tr, err := FitTree(x, y, nil, allIdx(n), TreeConfig{MaxDepth: 5, MinLeaf: 1})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tr.Predict([]float64{rng.Float64() * 2, rng.Float64() * 2})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+// Dataset is the profiled stencil corpus: every stencil's per-OC best
+// times on every architecture, plus the flat instance list for regression.
+type Dataset struct {
+	Stencils  []stencil.Stencil
+	Archs     []gpu.Arch
+	Profiles  [][]Profile // [archIdx][stencilIdx]
+	Instances []Instance
+}
+
+// ArchIndex returns the position of the named architecture, or an error.
+func (d *Dataset) ArchIndex(name string) (int, error) {
+	for i, a := range d.Archs {
+		if a.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: architecture %q not in dataset", name)
+}
+
+// BestTimeMatrix returns, for one architecture, the per-OC best times as
+// a [ocIdx][stencilIdx] matrix with NaN for crashed cells — the input to
+// pairwise-OC correlation (Sec. III-C).
+func (d *Dataset) BestTimeMatrix(archIdx int) [][]float64 {
+	nOC := opt.NumCombinations
+	m := make([][]float64, nOC)
+	for ci := range m {
+		m[ci] = make([]float64, len(d.Stencils))
+		for si := range d.Stencils {
+			res := d.Profiles[archIdx][si].Results[ci]
+			if res.Crashed {
+				m[ci][si] = math.NaN()
+			} else {
+				m[ci][si] = res.Time
+			}
+		}
+	}
+	return m
+}
+
+// MedianTimeMatrix returns, for one architecture, the per-OC *median*
+// sampled time as a [ocIdx][stencilIdx] matrix with NaN where no sample
+// ran. The median is a far more stable statistic of an OC's behavior
+// than the best-of-N minimum, so the PCC-based OC merging correlates
+// medians while best-OC labels keep using the minimum.
+func (d *Dataset) MedianTimeMatrix(archIdx int) [][]float64 {
+	arch := d.Archs[archIdx].Name
+	samples := make([][][]float64, opt.NumCombinations)
+	for ci := range samples {
+		samples[ci] = make([][]float64, len(d.Stencils))
+	}
+	for _, in := range d.Instances {
+		if in.Arch != arch {
+			continue
+		}
+		ci := opt.Index(in.OC)
+		samples[ci][in.StencilIdx] = append(samples[ci][in.StencilIdx], in.Time)
+	}
+	m := make([][]float64, opt.NumCombinations)
+	for ci := range m {
+		m[ci] = make([]float64, len(d.Stencils))
+		for si := range d.Stencils {
+			ts := samples[ci][si]
+			if len(ts) == 0 {
+				m[ci][si] = math.NaN()
+				continue
+			}
+			sort.Float64s(ts)
+			m[ci][si] = ts[len(ts)/2]
+		}
+	}
+	return m
+}
+
+// Labels returns the best-OC index (into opt.Combinations) per stencil on
+// one architecture — the classification ground truth.
+func (d *Dataset) Labels(archIdx int) []int {
+	out := make([]int, len(d.Stencils))
+	for si := range d.Stencils {
+		out[si] = opt.Index(d.Profiles[archIdx][si].BestOC)
+	}
+	return out
+}
+
+// InstancesByArch partitions the instance list by architecture name.
+func (d *Dataset) InstancesByArch() map[string][]Instance {
+	out := make(map[string][]Instance, len(d.Archs))
+	for _, in := range d.Instances {
+		out[in.Arch] = append(out[in.Arch], in)
+	}
+	return out
+}
+
+// Validate checks dataset structural invariants; used after
+// deserialization.
+func (d *Dataset) Validate() error {
+	if len(d.Archs) == 0 || len(d.Stencils) == 0 {
+		return fmt.Errorf("profile: empty dataset")
+	}
+	if len(d.Profiles) != len(d.Archs) {
+		return fmt.Errorf("profile: %d profile rows for %d archs", len(d.Profiles), len(d.Archs))
+	}
+	for ai, row := range d.Profiles {
+		if len(row) != len(d.Stencils) {
+			return fmt.Errorf("profile: arch %s has %d profiles for %d stencils",
+				d.Archs[ai].Name, len(row), len(d.Stencils))
+		}
+		for si, p := range row {
+			if p.StencilIdx != si {
+				return fmt.Errorf("profile: arch %s profile %d indexes stencil %d", d.Archs[ai].Name, si, p.StencilIdx)
+			}
+			if len(p.Results) != opt.NumCombinations {
+				return fmt.Errorf("profile: arch %s stencil %d has %d OC results", d.Archs[ai].Name, si, len(p.Results))
+			}
+			if !p.BestOC.Valid() || p.BestTime <= 0 || math.IsNaN(p.BestTime) {
+				return fmt.Errorf("profile: arch %s stencil %d has invalid best OC/time", d.Archs[ai].Name, si)
+			}
+		}
+	}
+	for i, in := range d.Instances {
+		if in.StencilIdx < 0 || in.StencilIdx >= len(d.Stencils) {
+			return fmt.Errorf("profile: instance %d references stencil %d", i, in.StencilIdx)
+		}
+		if in.Time <= 0 {
+			return fmt.Errorf("profile: instance %d has non-positive time", i)
+		}
+	}
+	return nil
+}
+
+// datasetJSON is the serialization schema. Stencil points flatten into
+// triplets; architectures serialize by name and are rehydrated from the
+// catalog so microarchitectural constants stay in code.
+type datasetJSON struct {
+	Stencils []stencilJSON `json:"stencils"`
+	Archs    []string      `json:"archs"`
+	Profiles [][]Profile   `json:"profiles"`
+	Inst     []Instance    `json:"instances"`
+}
+
+type stencilJSON struct {
+	Name   string `json:"name"`
+	Dims   int    `json:"dims"`
+	Points []int  `json:"points"` // dx,dy,dz triplets
+}
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	out := datasetJSON{Profiles: d.Profiles, Inst: d.Instances}
+	for _, s := range d.Stencils {
+		sj := stencilJSON{Name: s.Name, Dims: s.Dims}
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, p.Dx, p.Dy, p.Dz)
+		}
+		out.Stencils = append(out.Stencils, sj)
+	}
+	for _, a := range d.Archs {
+		out.Archs = append(out.Archs, a.Name)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes and validates a dataset.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in datasetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decode dataset: %w", err)
+	}
+	d := &Dataset{Profiles: in.Profiles, Instances: in.Inst}
+	for _, sj := range in.Stencils {
+		if len(sj.Points)%3 != 0 {
+			return nil, fmt.Errorf("profile: stencil %q has %d point coords", sj.Name, len(sj.Points))
+		}
+		var pts []stencil.Point
+		for i := 0; i+2 < len(sj.Points); i += 3 {
+			pts = append(pts, stencil.Point{Dx: sj.Points[i], Dy: sj.Points[i+1], Dz: sj.Points[i+2]})
+		}
+		s, err := stencil.New(sj.Name, sj.Dims, pts)
+		if err != nil {
+			return nil, err
+		}
+		d.Stencils = append(d.Stencils, s)
+	}
+	for _, name := range in.Archs {
+		a, err := gpu.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		d.Archs = append(d.Archs, a)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Folds splits n items into k cross-validation folds of near-equal size
+// after a seeded shuffle, returning the item indices per fold (the 5-fold
+// protocol of Sec. V-A3).
+func Folds(n, k int, seed int64) ([][]int, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("profile: cannot split %d items into %d folds", n, k)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	out := make([][]int, k)
+	for i, v := range idx {
+		out[i%k] = append(out[i%k], v)
+	}
+	return out, nil
+}
+
+// TrainTest returns the train and test index sets for the given fold.
+func TrainTest(folds [][]int, fold int) (train, test []int) {
+	for i, f := range folds {
+		if i == fold {
+			test = append(test, f...)
+		} else {
+			train = append(train, f...)
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,247 @@
+// Package profile implements the paper's training-data collection
+// pipeline (Fig. 5): every stencil in a corpus is executed under every
+// valid optimization combination (OC) with randomly searched parameter
+// settings on every target GPU; the best time per OC labels the stencil,
+// and every individual (setting, time) pair is retained as a regression
+// instance for cross-architecture performance prediction.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+)
+
+// OCResult is the outcome of the random parameter search for one OC on
+// one (stencil, architecture) pair.
+type OCResult struct {
+	// OC is the optimization combination.
+	OC opt.Opt
+	// Crashed reports that no sampled setting could run (the paper's
+	// "OC crashes under certain stencils" case).
+	Crashed bool
+	// Time is the best execution time in seconds over the sampled
+	// settings; NaN when Crashed.
+	Time float64
+	// Params is the setting achieving Time.
+	Params opt.Params
+}
+
+// ocResultJSON mirrors OCResult with an omittable time, because JSON has
+// no NaN; crashed results serialize without a time.
+type ocResultJSON struct {
+	OC      opt.Opt    `json:"oc"`
+	Crashed bool       `json:"crashed,omitempty"`
+	Time    *float64   `json:"time,omitempty"`
+	Params  opt.Params `json:"params"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r OCResult) MarshalJSON() ([]byte, error) {
+	out := ocResultJSON{OC: r.OC, Crashed: r.Crashed, Params: r.Params}
+	if !r.Crashed {
+		t := r.Time
+		out.Time = &t
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *OCResult) UnmarshalJSON(b []byte) error {
+	var in ocResultJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	r.OC, r.Crashed, r.Params = in.OC, in.Crashed, in.Params
+	if in.Time != nil {
+		r.Time = *in.Time
+	} else {
+		r.Time = math.NaN()
+		r.Crashed = true
+	}
+	return nil
+}
+
+// Profile aggregates the per-OC results for one stencil on one GPU.
+type Profile struct {
+	// StencilIdx indexes the dataset's stencil corpus.
+	StencilIdx int
+	// Arch is the GPU name (Table III).
+	Arch string
+	// Results holds one entry per valid OC, ordered as opt.Combinations.
+	Results []OCResult
+	// BestOC is the fastest non-crashed OC.
+	BestOC opt.Opt
+	// BestTime is the execution time of BestOC.
+	BestTime float64
+}
+
+// Instance is one regression sample: a parameter setting of an OC for a
+// stencil on an architecture, and its measured time.
+type Instance struct {
+	StencilIdx int
+	OC         opt.Opt
+	Params     opt.Params
+	Arch       string
+	Time       float64
+}
+
+// Profiler drives data collection against the simulation substrate.
+type Profiler struct {
+	// Model is the GPU substrate; nil uses sim.New().
+	Model *sim.Model
+	// SamplesPerOC is the number of random parameter settings searched
+	// per OC (the paper's random search budget).
+	SamplesPerOC int
+	// Seed makes collection deterministic; every (stencil, arch, OC)
+	// cell derives its own rng from it, so worker scheduling cannot
+	// change results.
+	Seed int64
+	// Workers bounds the profiling goroutines; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// NewProfiler returns a profiler with the given search budget and seed.
+func NewProfiler(samplesPerOC int, seed int64) *Profiler {
+	return &Profiler{Model: sim.New(), SamplesPerOC: samplesPerOC, Seed: seed}
+}
+
+func (p *Profiler) model() *sim.Model {
+	if p.Model == nil {
+		p.Model = sim.New()
+	}
+	return p.Model
+}
+
+// ProfileOne profiles a single stencil on a single architecture.
+func (p *Profiler) ProfileOne(stencilIdx int, s stencil.Stencil, arch gpu.Arch) (Profile, []Instance, error) {
+	if p.SamplesPerOC < 1 {
+		return Profile{}, nil, fmt.Errorf("profile: samples per OC %d < 1", p.SamplesPerOC)
+	}
+	m := p.model()
+	w := sim.DefaultWorkload(s)
+	combos := opt.Combinations()
+	prof := Profile{
+		StencilIdx: stencilIdx,
+		Arch:       arch.Name,
+		Results:    make([]OCResult, len(combos)),
+		BestTime:   math.Inf(1),
+	}
+	var instances []Instance
+	found := false
+	for ci, oc := range combos {
+		rng := rand.New(rand.NewSource(cellSeed(p.Seed, stencilIdx, arch.Name, ci)))
+		res := OCResult{OC: oc, Time: math.NaN(), Crashed: true}
+		for k := 0; k < p.SamplesPerOC; k++ {
+			params := opt.Sample(oc, s.Dims, rng)
+			r, err := m.Run(w, oc, params, arch)
+			if err != nil {
+				continue
+			}
+			instances = append(instances, Instance{
+				StencilIdx: stencilIdx, OC: oc, Params: params,
+				Arch: arch.Name, Time: r.Time,
+			})
+			if res.Crashed || r.Time < res.Time {
+				res.Crashed = false
+				res.Time = r.Time
+				res.Params = params
+			}
+		}
+		prof.Results[ci] = res
+		if !res.Crashed && res.Time < prof.BestTime {
+			prof.BestTime = res.Time
+			prof.BestOC = oc
+			found = true
+		}
+	}
+	if !found {
+		return Profile{}, nil, fmt.Errorf("profile: stencil %q crashed under every OC on %s", s.Name, arch.Name)
+	}
+	return prof, instances, nil
+}
+
+// Collect profiles the full corpus on every architecture, in parallel
+// across (stencil, architecture) cells, and assembles the dataset.
+func (p *Profiler) Collect(stencils []stencil.Stencil, archs []gpu.Arch) (*Dataset, error) {
+	if len(stencils) == 0 || len(archs) == 0 {
+		return nil, fmt.Errorf("profile: empty corpus (%d stencils, %d archs)", len(stencils), len(archs))
+	}
+	d := &Dataset{Stencils: stencils}
+	for _, a := range archs {
+		d.Archs = append(d.Archs, a)
+	}
+	d.Profiles = make([][]Profile, len(archs))
+	for ai := range archs {
+		d.Profiles[ai] = make([]Profile, len(stencils))
+	}
+	instancesPer := make([][]Instance, len(archs)*len(stencils))
+
+	type job struct{ ai, si int }
+	jobs := make(chan job, len(archs)*len(stencils))
+	for ai := range archs {
+		for si := range stencils {
+			jobs <- job{ai, si}
+		}
+	}
+	close(jobs)
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				prof, inst, err := p.ProfileOne(j.si, stencils[j.si], archs[j.ai])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				d.Profiles[j.ai][j.si] = prof
+				instancesPer[j.ai*len(stencils)+j.si] = inst
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, inst := range instancesPer {
+		d.Instances = append(d.Instances, inst...)
+	}
+	return d, nil
+}
+
+// cellSeed derives a deterministic seed for one (stencil, arch, OC) cell.
+func cellSeed(base int64, stencilIdx int, arch string, ocIdx int) int64 {
+	h := base
+	for _, c := range arch {
+		h = h*1000003 + int64(c)
+	}
+	h = h*1000003 + int64(stencilIdx)
+	h = h*1000003 + int64(ocIdx)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,208 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	corpus, err := gen.MixedCorpus(6, 4, stencil.MaxOrder, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfiler(8, 42)
+	archs := gpu.Catalog()[:2]
+	d, err := p.Collect(corpus, archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestProfileOne(t *testing.T) {
+	p := NewProfiler(6, 1)
+	arch, _ := gpu.ByName("V100")
+	prof, inst, err := p.ProfileOne(0, stencil.Star(2, 1), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Results) != opt.NumCombinations {
+		t.Fatalf("results per OC = %d, want %d", len(prof.Results), opt.NumCombinations)
+	}
+	if prof.BestTime <= 0 || !prof.BestOC.Valid() {
+		t.Errorf("bad best: %v %g", prof.BestOC, prof.BestTime)
+	}
+	if len(inst) == 0 {
+		t.Fatal("no instances recorded")
+	}
+	// Best time is the minimum over non-crashed OC results.
+	for _, r := range prof.Results {
+		if !r.Crashed && r.Time < prof.BestTime {
+			t.Errorf("OC %s beat recorded best (%g < %g)", r.OC, r.Time, prof.BestTime)
+		}
+		if r.Crashed && !math.IsNaN(r.Time) {
+			t.Errorf("crashed OC %s has numeric time", r.OC)
+		}
+	}
+	// Instances only contain successful runs.
+	for _, in := range inst {
+		if in.Time <= 0 || in.Arch != "V100" {
+			t.Errorf("bad instance %+v", in)
+		}
+	}
+}
+
+func TestProfileDeterministicAcrossWorkers(t *testing.T) {
+	corpus, err := gen.MixedCorpus(4, 2, stencil.MaxOrder, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := gpu.Catalog()[:2]
+	p1 := NewProfiler(5, 9)
+	p1.Workers = 1
+	d1, err := p1.Collect(corpus, archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewProfiler(5, 9)
+	p2.Workers = 8
+	d2, err := p2.Collect(corpus, archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai := range d1.Profiles {
+		for si := range d1.Profiles[ai] {
+			a, b := d1.Profiles[ai][si], d2.Profiles[ai][si]
+			if a.BestOC != b.BestOC || a.BestTime != b.BestTime {
+				t.Fatalf("worker count changed profile [%d][%d]: %v/%g vs %v/%g",
+					ai, si, a.BestOC, a.BestTime, b.BestOC, b.BestTime)
+			}
+		}
+	}
+	if len(d1.Instances) != len(d2.Instances) {
+		t.Fatalf("instance counts differ: %d vs %d", len(d1.Instances), len(d2.Instances))
+	}
+}
+
+func TestCollectValidates(t *testing.T) {
+	d := smallDataset(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Instances) == 0 {
+		t.Fatal("no instances")
+	}
+	byArch := d.InstancesByArch()
+	if len(byArch) != 2 {
+		t.Fatalf("instances span %d archs, want 2", len(byArch))
+	}
+}
+
+func TestBestTimeMatrixAndLabels(t *testing.T) {
+	d := smallDataset(t)
+	m := d.BestTimeMatrix(0)
+	if len(m) != opt.NumCombinations || len(m[0]) != len(d.Stencils) {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+	labels := d.Labels(0)
+	for si, l := range labels {
+		if l < 0 || l >= opt.NumCombinations {
+			t.Fatalf("label %d out of range", l)
+		}
+		// The labeled OC's matrix cell must equal the best time.
+		if math.Abs(m[l][si]-d.Profiles[0][si].BestTime) > 1e-15 {
+			t.Fatalf("label/matrix mismatch at stencil %d", si)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := smallDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stencils) != len(d.Stencils) || len(back.Instances) != len(d.Instances) {
+		t.Fatalf("round trip lost data: %d/%d stencils, %d/%d instances",
+			len(back.Stencils), len(d.Stencils), len(back.Instances), len(d.Instances))
+	}
+	for ai := range d.Profiles {
+		for si := range d.Profiles[ai] {
+			if back.Profiles[ai][si].BestTime != d.Profiles[ai][si].BestTime {
+				t.Fatalf("best time changed in round trip at [%d][%d]", ai, si)
+			}
+		}
+	}
+	if back.Archs[0].MemBWGBs != d.Archs[0].MemBWGBs {
+		t.Error("arch specs not rehydrated from catalog")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"archs":["NoSuchGPU"],"stencils":[{"name":"x","dims":2,"points":[0,0,0]}]}`)); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestFolds(t *testing.T) {
+	folds, err := Folds(23, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		if len(f) < 4 || len(f) > 5 {
+			t.Errorf("fold size %d outside [4,5]", len(f))
+		}
+		for _, i := range f {
+			if seen[i] {
+				t.Errorf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if total != 23 {
+		t.Errorf("folds cover %d items, want 23", total)
+	}
+	train, test := TrainTest(folds, 2)
+	if len(train)+len(test) != 23 || len(test) != len(folds[2]) {
+		t.Errorf("train/test split %d/%d", len(train), len(test))
+	}
+	if _, err := Folds(3, 5, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := Folds(10, 1, 1); err == nil {
+		t.Error("k = 1 accepted")
+	}
+}
+
+func TestProfilerErrors(t *testing.T) {
+	p := NewProfiler(0, 1)
+	arch, _ := gpu.ByName("V100")
+	if _, _, err := p.ProfileOne(0, stencil.Star(2, 1), arch); err == nil {
+		t.Error("zero samples accepted")
+	}
+	p2 := NewProfiler(4, 1)
+	if _, err := p2.Collect(nil, gpu.Catalog()); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}

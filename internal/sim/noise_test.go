@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+func TestGaussDeterministicAndDistributed(t *testing.T) {
+	if gauss("a", byte(1), "b", "c") != gauss("a", byte(1), "b", "c") {
+		t.Error("gauss not deterministic")
+	}
+	if gauss("a", byte(1), "b", "c") == gauss("a", byte(2), "b", "c") {
+		t.Error("gauss ignores key component")
+	}
+	// Population moments over many keys should be ~N(0,1).
+	var m, m2 float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		z := gauss("key", byte(i%256), string(rune(i/256)), "")
+		m += z
+		m2 += z * z
+	}
+	mean := m / n
+	std := math.Sqrt(m2/n - mean*mean)
+	if math.Abs(mean) > 0.07 || math.Abs(std-1) > 0.07 {
+		t.Errorf("gauss moments mean=%.3f std=%.3f", mean, std)
+	}
+}
+
+func TestProjectionStandardized(t *testing.T) {
+	corpus, err := gen.MixedCorpus(150, 150, stencil.MaxOrder, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"arch:P100", "arch:A100", "oc:\x07", "oc:\x1f"} {
+		var m, m2 float64
+		for _, s := range corpus {
+			z := projection(s, key)
+			m += z
+			m2 += z * z
+		}
+		n := float64(len(corpus))
+		mean := m / n
+		std := math.Sqrt(m2/n - mean*mean)
+		if math.Abs(mean) > 0.35 || std < 0.6 || std > 1.6 {
+			t.Errorf("projection %q: mean=%.3f std=%.3f outside calibrated band", key, mean, std)
+		}
+	}
+}
+
+func TestProjectionSmoothInFeatures(t *testing.T) {
+	// Similar stencils must receive similar affinities: star2d3r is
+	// geometrically closer to star2d4r than to box3d4r.
+	a := projection(stencil.Star(2, 3), "arch:V100")
+	b := projection(stencil.Star(2, 4), "arch:V100")
+	c := projection(stencil.Box(3, 4), "arch:V100")
+	if math.Abs(a-b) >= math.Abs(a-c) {
+		t.Errorf("projection not smooth: |star3-star4|=%.3f >= |star3-box3d4|=%.3f",
+			math.Abs(a-b), math.Abs(a-c))
+	}
+}
+
+func TestNoiseFactorDeterministic(t *testing.T) {
+	n := DefaultNoise()
+	s := stencil.Cross(2, 2)
+	arch, _ := gpu.ByName("P100")
+	p := opt.Params{BlockX: 32, BlockY: 4, Merge: 1, Unroll: 1}
+	f1 := n.factor(s, 0, p, arch)
+	f2 := n.factor(s, 0, p, arch)
+	if f1 != f2 {
+		t.Errorf("noise factor nondeterministic: %g vs %g", f1, f2)
+	}
+	if f1 <= 0 {
+		t.Errorf("noise factor %g", f1)
+	}
+}
+
+// Property: the noise factor stays within lognormal plausibility for any
+// configuration (no blowups from the projection terms).
+func TestQuickNoiseFactorBounded(t *testing.T) {
+	n := DefaultNoise()
+	g, err := gen.New(gen.Options{Dims: 3}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := opt.Combinations()
+	archs := gpu.Catalog()
+	f := func(oi, ai uint8) bool {
+		s := g.Next()
+		oc := combos[int(oi)%len(combos)]
+		arch := archs[int(ai)%len(archs)]
+		fac := n.factor(s, oc, opt.Params{BlockX: 64, BlockY: 2, Merge: 1, Unroll: 1}, arch)
+		// 6 sigma of the combined ~0.21 lognormal is ~3.5x.
+		return fac > 0.2 && fac < 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package sim is the GPU execution substrate of this reproduction: an
+// analytical performance model that plays the role of the real
+// P100/V100/2080Ti/A100 machines in the paper. Given a stencil, an
+// optimization combination (OC), a parameter setting and a GPU
+// architecture, it produces an execution time with the same structural
+// dependencies real stencil kernels exhibit:
+//
+//   - memory traffic shaped by cache-line reuse, halo overheads, merging,
+//     streaming, shared-memory tiling and temporal blocking;
+//   - register and shared-memory pressure that throttles occupancy,
+//     spills, or crashes the kernel outright;
+//   - synchronization and kernel-launch overheads that prefetching and
+//     temporal blocking amortize;
+//   - deterministic "measurement" noise plus per-(stencil, architecture)
+//     affinity noise standing in for unmodeled microarchitectural effects.
+//
+// Every downstream component — profiling, best-OC labeling, PCC merging,
+// model training, baselines — consumes this substrate exactly as the
+// paper's pipeline consumes real GPU measurements.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+// ErrCrash reports that the kernel cannot execute at all under the given
+// OC and setting (resource spilling beyond hard limits), matching the
+// paper's observation that some OCs crash for some stencils.
+var ErrCrash = errors.New("sim: kernel crash (intra-SM resource spilling)")
+
+// ErrInvalidConfig reports that this particular parameter setting does not
+// fit the architecture (e.g. shared-memory overflow); other settings of
+// the same OC may still run.
+var ErrInvalidConfig = errors.New("sim: parameter setting exceeds hardware limits")
+
+// Workload is one stencil execution problem: the access pattern, the grid
+// extents and the number of time steps measured.
+type Workload struct {
+	S stencil.Stencil
+	// GridX, GridY, GridZ are the grid extents; GridZ is 1 for 2-D.
+	GridX, GridY, GridZ int
+	// TimeSteps is the number of sweeps timed.
+	TimeSteps int
+}
+
+// DefaultSteps is the number of sweeps a default workload times.
+const DefaultSteps = 8
+
+// DefaultWorkload wraps a stencil with the paper's grid sizes: 8192^2 for
+// 2-D stencils and 512^3 for 3-D.
+func DefaultWorkload(s stencil.Stencil) Workload {
+	w := Workload{S: s, TimeSteps: DefaultSteps}
+	if s.Dims == 2 {
+		w.GridX, w.GridY, w.GridZ = 8192, 8192, 1
+	} else {
+		w.GridX, w.GridY, w.GridZ = 512, 512, 512
+	}
+	return w
+}
+
+// Points returns the number of grid points per sweep.
+func (w Workload) Points() float64 {
+	return float64(w.GridX) * float64(w.GridY) * float64(w.GridZ)
+}
+
+// Validate checks the workload invariants.
+func (w Workload) Validate() error {
+	if err := w.S.Validate(); err != nil {
+		return err
+	}
+	if w.GridX < 1 || w.GridY < 1 || w.GridZ < 1 {
+		return fmt.Errorf("sim: invalid grid %dx%dx%d", w.GridX, w.GridY, w.GridZ)
+	}
+	if w.S.Dims == 2 && w.GridZ != 1 {
+		return fmt.Errorf("sim: 2-D workload with gridZ=%d", w.GridZ)
+	}
+	if w.TimeSteps < 1 {
+		return fmt.Errorf("sim: time steps %d < 1", w.TimeSteps)
+	}
+	return nil
+}
+
+// Result is one simulated execution.
+type Result struct {
+	// Time is the end-to-end execution time in seconds for all sweeps.
+	Time float64
+	// Compute, Memory, Sync and Launch break the noiseless time down into
+	// its model terms (seconds).
+	Compute, Memory, Sync, Launch float64
+	// Occupancy is the achieved SM thread occupancy in [0, 1].
+	Occupancy float64
+	// RegsPerThread is the modeled register demand before capping.
+	RegsPerThread float64
+	// SmemPerBlockKB is the shared-memory demand per thread block.
+	SmemPerBlockKB float64
+	// SpillBytes is the per-thread register spill volume in bytes.
+	SpillBytes float64
+}
+
+// Model evaluates workloads on simulated architectures. The zero value is
+// not usable; construct with New.
+type Model struct {
+	noise NoiseConfig
+}
+
+// New returns a model with the default noise configuration.
+func New() *Model { return &Model{noise: DefaultNoise()} }
+
+// NewWithNoise returns a model with a custom noise configuration; used by
+// the noise-ablation benchmarks.
+func NewWithNoise(n NoiseConfig) *Model { return &Model{noise: n} }
+
+// Run simulates the workload under the OC and parameter setting on the
+// architecture. It returns ErrCrash or ErrInvalidConfig (wrapped) when the
+// kernel cannot run.
+func (m *Model) Run(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := oc.ValidationError(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(oc, w.S.Dims); err != nil {
+		return Result{}, err
+	}
+
+	res := resourceUsage(w, oc, p, arch)
+	if err := res.check(arch, w, oc, p); err != nil {
+		return Result{}, err
+	}
+
+	occ := occupancy(res, p, arch)
+	t := timeBreakdown(w, oc, p, arch, res, occ)
+
+	r := Result{
+		Compute:        t.compute,
+		Memory:         t.memory,
+		Sync:           t.sync,
+		Launch:         t.launch,
+		Occupancy:      occ,
+		RegsPerThread:  res.regs,
+		SmemPerBlockKB: res.smemBytes / 1024,
+		SpillBytes:     res.spillBytes,
+	}
+	base := t.compute + t.memory + t.sync + t.launch
+	r.Time = base * m.noise.factor(w.S, oc, p, arch)
+	return r, nil
+}
+
+// BestOf runs every setting and returns the shortest time, skipping
+// invalid settings; it returns an error only if every setting fails —
+// which profilers interpret as "this OC crashes for this stencil".
+func (m *Model) BestOf(w Workload, oc opt.Opt, settings []opt.Params, arch gpu.Arch) (Result, opt.Params, error) {
+	var (
+		best    Result
+		bestP   opt.Params
+		found   bool
+		lastErr error
+	)
+	for _, p := range settings {
+		r, err := m.Run(w, oc, p, arch)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !found || r.Time < best.Time {
+			best, bestP, found = r, p, true
+		}
+	}
+	if !found {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("sim: no settings supplied for %s", oc)
+		}
+		return Result{}, opt.Params{}, lastErr
+	}
+	return best, bestP, nil
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"math"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+// breakdown holds the noiseless model time terms in seconds, already
+// multiplied by the workload's time-step count.
+type breakdown struct {
+	compute, memory, sync, launch float64
+}
+
+// Traffic- and latency-model constants.
+const (
+	elemBytes = 8.0 // double precision
+
+	// alphaBase2D/3D are the baseline cache-miss fractions per distinct
+	// grid line touched by a naive kernel; 3-D stencils touch more planes
+	// than the caches hold.
+	alphaBase2D = 0.20
+	alphaBase3D = 0.30
+	// alphaOrderGrowth increases the miss fraction per stencil order: a
+	// wider footprint evicts more of its own reuse window.
+	alphaOrderGrowth = 0.12
+
+	// mergeShareBM/CM are the per-merged-point fractions of line reuse
+	// block and cyclic merging recover.
+	mergeShareBM = 0.45
+	mergeShareCM = 0.25
+	// bmCoalescePenalty is the extra memory cost per merged point when
+	// block merging runs along the innermost (x) dimension and disrupts
+	// coalescing (Sec. II-B2).
+	bmCoalescePenalty = 0.25
+	// streamXPenalty throttles effective bandwidth when streaming along
+	// the innermost dimension, which serializes coalesced rows.
+	streamXPenalty = 0.55
+
+	// noStreamTBTrafficMult penalizes temporal blocking without
+	// streaming: the space-time halos are re-read from global memory.
+	noStreamTBTrafficMult = 1.8
+
+	barrierLatency  = 80e-9 // seconds per __syncthreads at 1.5 GHz
+	launchLatency   = 4e-6  // seconds per kernel launch at 1.5 GHz
+	prSyncResidual  = 0.35  // fraction of sync latency left under PR
+	prMemBonus      = 0.04  // memory-latency hiding per prefetch depth
+	rtFlopsOverhead = 1.05  // extra accumulation work under retiming
+	archCompEff     = 0.75  // fraction of peak FLOPS sustained
+)
+
+// archCompBoost scales effective double-precision throughput per
+// architecture. The 2080 Ti's Table III fp64 peak (0.41 TFLOPS) would
+// leave every 3-D stencil hopelessly compute-bound, yet the paper reports
+// it winning ~20% of 3-D instances (Fig. 14); its stencil kernels
+// evidently sustain far more than the fp64-peak model predicts, so Turing
+// gets an effective-throughput boost (see DESIGN.md substitutions).
+func archCompBoost(arch gpu.Arch) float64 {
+	if arch.Name == "2080Ti" {
+		return 4.5
+	}
+	return 1.0
+}
+
+// archMemEff returns the calibrated fraction of peak bandwidth each
+// architecture sustains on 2-D and 3-D stencil sweeps. These stand in for
+// unmodeled DRAM/cache behavior and are the knobs that reproduce the
+// paper's observation that stencil performance is not proportional to
+// paper specs (Sec. III-D).
+func archMemEff(arch gpu.Arch, dims int) float64 {
+	type key struct {
+		name string
+		dims int
+	}
+	eff := map[key]float64{
+		{"P100", 2}: 0.84, {"P100", 3}: 0.76,
+		{"V100", 2}: 0.90, {"V100", 3}: 0.82,
+		{"2080Ti", 2}: 0.85, {"2080Ti", 3}: 1.02,
+		{"A100", 2}: 0.50, {"A100", 3}: 0.50,
+	}
+	if e, ok := eff[key{arch.Name, dims}]; ok {
+		return e
+	}
+	return 0.8
+}
+
+// smallLineThreshold is the footprint (distinct grid lines) below which a
+// stencil's reuse window sits comfortably in the L2 working set; Turing's
+// high-clock GDDR6 subsystem disproportionately benefits there, which is
+// how the model reproduces Fig. 4's "cross2d1r runs faster on the 2080 Ti
+// than on V100" observation. The threshold is wider in 3-D because a
+// 512-point row is 16x smaller than an 8192-point one, so more lines fit
+// in cache.
+func smallLineThreshold(dims int) int {
+	if dims == 3 {
+		return 13
+	}
+	return 5
+}
+
+// archCacheBoost is the small-footprint bandwidth boost per architecture.
+func archCacheBoost(arch gpu.Arch) float64 {
+	if arch.Name == "2080Ti" {
+		return 1.30
+	}
+	return 1.0
+}
+
+// lineCount and planeLineCount alias the stencil-package footprint
+// measures; the model and the regression features share one definition.
+func lineCount(s stencil.Stencil) int { return stencil.LineCount(s) }
+
+func planeLineCount(s stencil.Stencil, streamDim int) int {
+	return stencil.PlaneLineCount(s, streamDim)
+}
+
+// timeBreakdown computes the noiseless execution-time terms.
+func timeBreakdown(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch, res resources, occ float64) breakdown {
+	s := w.S
+	points := w.Points()
+	r := float64(s.Order())
+	n := float64(s.NumPoints())
+	tb := 1.0
+	if oc.Has(opt.TB) {
+		tb = float64(p.TBDepth)
+	}
+	mergeSpanY := float64(p.BlockY * maxInt(p.Merge, 1))
+
+	// --- Memory traffic per sweep (bytes). ---
+	alpha := alphaBase2D
+	if s.Dims == 3 {
+		alpha = alphaBase3D
+	}
+	alpha *= 1 + alphaOrderGrowth*(r-1)
+	// Bigger L2 caches retain more of the reuse window.
+	alpha *= clamp(math.Pow(6.0/arch.L2MB, 0.25), 0.6, 1.3)
+	alpha = clamp(alpha, 0.05, 0.9)
+
+	var readFactor float64
+	switch {
+	case oc.Has(opt.ST) && p.UseSmem:
+		// Shared-memory 2.5-D blocking: each element is loaded once plus
+		// the halo reloads at tile borders.
+		readFactor = 1 + 2*r/float64(p.BlockX) + 2*r/mergeSpanY
+	case oc.Has(opt.ST):
+		// Register streaming without smem: the thread's own column is
+		// reused; neighbor lines are re-fetched each plane at half the
+		// naive miss cost (L1 catches the rest).
+		pl := float64(planeLineCount(s, p.StreamDim))
+		readFactor = 1 + 0.5*alpha*(pl-1)
+	default:
+		l := float64(lineCount(s))
+		if m := float64(p.Merge); m > 1 {
+			share := mergeShareBM
+			if oc.Has(opt.CM) {
+				share = mergeShareCM
+			}
+			l = 1 + (l-1)/(1+share*(m-1))
+		}
+		readFactor = 1 + alpha*(l-1)
+	}
+
+	writeFactor := 1.0
+	haloRedund := 1.0
+	if oc.Has(opt.TB) {
+		// Fusing tb steps removes tb-1 global round trips but re-reads
+		// the expanded space-time halo. With streaming, the halo along
+		// the streamed dimension amortizes over the stream tile (2.5-D
+		// temporal blocking a la AN5D); without it, only the thread
+		// block's own extent amortizes the halo.
+		spanY := mergeSpanY
+		if oc.Has(opt.ST) && float64(p.StreamTile) > spanY {
+			spanY = float64(p.StreamTile)
+		}
+		haloRedund = (1 + 2*r*tb/float64(p.BlockX)) * (1 + 2*r*tb/spanY)
+		if !oc.Has(opt.ST) {
+			haloRedund *= noStreamTBTrafficMult
+		}
+		haloRedund = clamp(haloRedund, 1, 6)
+		readFactor = (readFactor / tb) * haloRedund
+		writeFactor = 1 / tb
+	}
+
+	spillFactor := 0.0
+	if res.spillBytes > 0 {
+		// Spilled registers are written and re-read per output point, but
+		// spill slots are hot in L1/L2 — only a fraction reaches DRAM,
+		// and the backend throttles unrolling before spills grow huge.
+		spillFactor = clamp(0.25*res.spillBytes/elemBytes, 0, 8)
+	}
+
+	bytesPerSweep := points * elemBytes * (readFactor + writeFactor + spillFactor)
+
+	// --- Effective bandwidth. ---
+	memEff := archMemEff(arch, s.Dims) * (0.5 + 0.5*occ)
+	if lineCount(s) <= smallLineThreshold(s.Dims) {
+		memEff *= archCacheBoost(arch)
+	}
+	if oc.Has(opt.BM) && p.MergeDim == 1 {
+		memEff /= 1 + bmCoalescePenalty*float64(p.Merge-1)
+	}
+	if oc.Has(opt.ST) && p.StreamDim == 1 {
+		memEff *= streamXPenalty
+	}
+	if oc.Has(opt.PR) {
+		memEff *= 1 + prMemBonus*float64(p.PrefetchDepth)
+	}
+	memEff *= parallelUtilization(w, oc, p, arch)
+
+	memPerSweep := bytesPerSweep / (arch.MemBWGBs * 1e9 * memEff)
+
+	// --- Compute. ---
+	flopsPerPoint := 2*n - 1
+	if oc.Has(opt.RT) {
+		flopsPerPoint *= rtFlopsOverhead
+	}
+	computeRedund := 1.0
+	if oc.Has(opt.TB) {
+		computeRedund = haloRedund // halo points are recomputed
+	}
+	compEff := archCompEff * archCompBoost(arch) * (0.55 + 0.45*occ)
+	compPerSweep := points * flopsPerPoint * computeRedund / (arch.TFLOPS * 1e12 * compEff)
+
+	// --- Synchronization. ---
+	clockScale := 1.5 / arch.ClockGHz
+	var syncPerSweep float64
+	if oc.Has(opt.ST) {
+		barriers := float64(p.StreamTile) / float64(maxInt(p.Unroll, 1))
+		if oc.Has(opt.TB) {
+			barriers *= 2 // producer/consumer barriers per fused step
+		}
+		waves := kernelWaves(w, oc, p, arch, occ)
+		lat := barrierLatency * clockScale
+		if oc.Has(opt.PR) {
+			lat *= prSyncResidual
+		}
+		syncPerSweep = barriers * waves * lat
+	}
+
+	// --- Launch. ---
+	launchesPerSweep := 1.0 / tb
+	launchPerSweep := launchesPerSweep * launchLatency * clockScale
+
+	steps := float64(w.TimeSteps)
+	return breakdown{
+		compute: compPerSweep * steps,
+		memory:  memPerSweep * steps,
+		sync:    syncPerSweep * steps,
+		launch:  launchPerSweep * steps,
+	}
+}
+
+// totalThreads returns the number of threads the kernel launches: one per
+// output point, divided by the per-thread coverage from merging, unrolling
+// and streaming.
+func totalThreads(w Workload, oc opt.Opt, p opt.Params) float64 {
+	cover := float64(maxInt(p.Merge, 1)) * float64(maxInt(p.Unroll, 1))
+	if oc.Has(opt.ST) {
+		cover *= float64(p.StreamTile)
+	}
+	return math.Max(1, w.Points()/cover)
+}
+
+// parallelUtilization throttles bandwidth when the launch does not carry
+// enough threads to fill the device (streaming's computation-granularity
+// cost, Sec. II-B1). The square root models latency hiding partially
+// compensating for low thread counts, and the floor reflects that even a
+// sparse launch keeps a good fraction of DRAM channels busy.
+func parallelUtilization(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) float64 {
+	threads := totalThreads(w, oc, p)
+	needed := float64(arch.SMs*arch.MaxThreadsPerSM) * 1.5
+	return clamp(math.Sqrt(threads/needed), 0.4, 1)
+}
+
+// kernelWaves returns how many waves of thread blocks a sweep issues.
+func kernelWaves(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch, occ float64) float64 {
+	tpb := float64(p.BlockX * p.BlockY)
+	blocks := totalThreads(w, oc, p) / tpb
+	concurrent := float64(arch.SMs) * float64(arch.MaxThreadsPerSM) * occ / tpb
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	return math.Max(1, blocks/concurrent)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+package stencil
+
+import "fmt"
+
+// Boundary selects how the reference executor treats accesses that fall
+// outside the grid. The paper's evaluation uses interior-only sweeps
+// (boundary points copied unchanged); handling boundary conditions is
+// its stated future work (Sec. VII), implemented here so workloads with
+// physical boundaries can be expressed.
+type Boundary int
+
+const (
+	// BoundaryCopy leaves the halo ring unchanged — the paper's setup.
+	BoundaryCopy Boundary = iota
+	// BoundaryDirichlet treats out-of-grid values as a constant.
+	BoundaryDirichlet
+	// BoundaryPeriodic wraps accesses around the grid torus.
+	BoundaryPeriodic
+	// BoundaryReflect mirrors accesses at the faces (even symmetry).
+	BoundaryReflect
+)
+
+// String returns the boundary-condition name.
+func (b Boundary) String() string {
+	switch b {
+	case BoundaryCopy:
+		return "copy"
+	case BoundaryDirichlet:
+		return "dirichlet"
+	case BoundaryPeriodic:
+		return "periodic"
+	case BoundaryReflect:
+		return "reflect"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
+// BoundarySpec couples a boundary condition with its parameter.
+type BoundarySpec struct {
+	Kind Boundary
+	// Value is the Dirichlet constant; ignored otherwise.
+	Value float64
+}
+
+// resolve maps a possibly out-of-range coordinate into the grid, or
+// reports that the Dirichlet constant applies.
+func (bs BoundarySpec) resolve(c, n int) (idx int, inGrid bool) {
+	if c >= 0 && c < n {
+		return c, true
+	}
+	switch bs.Kind {
+	case BoundaryPeriodic:
+		c %= n
+		if c < 0 {
+			c += n
+		}
+		return c, true
+	case BoundaryReflect:
+		for c < 0 || c >= n {
+			if c < 0 {
+				c = -c - 1
+			}
+			if c >= n {
+				c = 2*n - c - 1
+			}
+		}
+		return c, true
+	default: // Dirichlet
+		return 0, false
+	}
+}
+
+// ApplyBoundary runs one serial sweep over the full grid, resolving
+// out-of-grid accesses with the given boundary condition. BoundaryCopy
+// delegates to Apply (interior sweep, halo copied).
+func ApplyBoundary(s Stencil, coeffs Coefficients, in, out *Grid, bs BoundarySpec) error {
+	if bs.Kind == BoundaryCopy {
+		return Apply(s, coeffs, in, out)
+	}
+	if err := checkApply(s, coeffs, in, out); err != nil {
+		return err
+	}
+	nx, ny, nz := in.Nx, in.Ny, in.Nz
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				acc := 0.0
+				for i, p := range s.Points {
+					xi, okX := bs.resolve(x+p.Dx, nx)
+					yi, okY := bs.resolve(y+p.Dy, ny)
+					zi, okZ := bs.resolve(z+p.Dz, nz)
+					if okX && okY && okZ {
+						acc += coeffs[i] * in.Data[(zi*ny+yi)*nx+xi]
+					} else {
+						acc += coeffs[i] * bs.Value
+					}
+				}
+				out.Data[(z*ny+y)*nx+x] = acc
+			}
+		}
+	}
+	return nil
+}
+
+// BoundaryFeature parameterizes the boundary condition as model input
+// (the paper's future-work plan: "parameterize them as model input").
+// The encoding is the enum index plus the Dirichlet value.
+func (bs BoundarySpec) BoundaryFeature() []float64 {
+	return []float64{float64(bs.Kind), bs.Value}
+}

@@ -1,0 +1,142 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundaryString(t *testing.T) {
+	names := map[Boundary]string{
+		BoundaryCopy: "copy", BoundaryDirichlet: "dirichlet",
+		BoundaryPeriodic: "periodic", BoundaryReflect: "reflect",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}
+
+func TestResolvePeriodic(t *testing.T) {
+	bs := BoundarySpec{Kind: BoundaryPeriodic}
+	cases := map[int]int{-1: 9, -10: 0, 0: 0, 9: 9, 10: 0, 13: 3}
+	for in, want := range cases {
+		got, ok := bs.resolve(in, 10)
+		if !ok || got != want {
+			t.Errorf("periodic resolve(%d) = %d,%v want %d", in, got, ok, want)
+		}
+	}
+}
+
+func TestResolveReflect(t *testing.T) {
+	bs := BoundarySpec{Kind: BoundaryReflect}
+	cases := map[int]int{-1: 0, -2: 1, 0: 0, 9: 9, 10: 9, 11: 8}
+	for in, want := range cases {
+		got, ok := bs.resolve(in, 10)
+		if !ok || got != want {
+			t.Errorf("reflect resolve(%d) = %d,%v want %d", in, got, ok, want)
+		}
+	}
+}
+
+func TestApplyBoundaryDirichlet(t *testing.T) {
+	s := Star(2, 1)
+	in := NewGrid(4, 4, 1)
+	in.Fill(func(x, y, z int) float64 { return 1 })
+	out := NewGrid(4, 4, 1)
+	// Out-of-grid values count as 5: corner point sees 2 interior-ish
+	// neighbors + center (3 ones) and 2 Dirichlet fives.
+	err := ApplyBoundary(s, UniformCoefficients(s), in, out, BoundarySpec{Kind: BoundaryDirichlet, Value: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*1.0 + 2*5.0) / 5.0
+	if got := out.At(0, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("corner = %g, want %g", got, want)
+	}
+	// Interior unaffected by the boundary condition.
+	if got := out.At(2, 2, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("interior = %g, want 1", got)
+	}
+}
+
+func TestApplyBoundaryPeriodicConservesUniform(t *testing.T) {
+	// On a torus a uniform field is exactly preserved by any averaging
+	// stencil, including at the boundary.
+	for _, s := range []Stencil{Star(2, 2), Box(2, 1), Cross(3, 1)} {
+		nz := 1
+		if s.Dims == 3 {
+			nz = 8
+		}
+		in := NewGrid(8, 8, nz)
+		in.Fill(func(x, y, z int) float64 { return 2.25 })
+		out := NewGrid(8, 8, nz)
+		if err := ApplyBoundary(s, UniformCoefficients(s), in, out, BoundarySpec{Kind: BoundaryPeriodic}); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for i, v := range out.Data {
+			if math.Abs(v-2.25) > 1e-9 {
+				t.Fatalf("%s: point %d drifted to %g", s.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestApplyBoundaryReflectConservesUniform(t *testing.T) {
+	s := Box(2, 2)
+	in := NewGrid(9, 7, 1)
+	in.Fill(func(x, y, z int) float64 { return -1.5 })
+	out := NewGrid(9, 7, 1)
+	if err := ApplyBoundary(s, UniformCoefficients(s), in, out, BoundarySpec{Kind: BoundaryReflect}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if math.Abs(v+1.5) > 1e-9 {
+			t.Fatalf("point %d drifted to %g", i, v)
+		}
+	}
+}
+
+func TestApplyBoundaryCopyDelegates(t *testing.T) {
+	s := Star(2, 1)
+	in := NewGrid(6, 6, 1)
+	in.Set(3, 3, 0, 9)
+	viaBoundary := NewGrid(6, 6, 1)
+	viaApply := NewGrid(6, 6, 1)
+	if err := ApplyBoundary(s, UniformCoefficients(s), in, viaBoundary, BoundarySpec{Kind: BoundaryCopy}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(s, UniformCoefficients(s), in, viaApply); err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaApply.Data {
+		if viaApply.Data[i] != viaBoundary.Data[i] {
+			t.Fatalf("copy boundary diverged from Apply at %d", i)
+		}
+	}
+}
+
+// Property: periodic and reflect resolutions always land inside the grid
+// for arbitrary offsets.
+func TestQuickResolveInGrid(t *testing.T) {
+	f := func(c int8, kindBit bool, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		kind := BoundaryPeriodic
+		if kindBit {
+			kind = BoundaryReflect
+		}
+		idx, ok := BoundarySpec{Kind: kind}.resolve(int(c), n)
+		return ok && idx >= 0 && idx < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryFeature(t *testing.T) {
+	f := BoundarySpec{Kind: BoundaryDirichlet, Value: 3.5}.BoundaryFeature()
+	if len(f) != 2 || f[0] != float64(BoundaryDirichlet) || f[1] != 3.5 {
+		t.Errorf("feature = %v", f)
+	}
+}

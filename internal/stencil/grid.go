@@ -1,0 +1,185 @@
+package stencil
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Grid is a dense row-major float64 grid used by the reference CPU
+// executor. 2-D grids have Nz == 1. Index layout: data[(z*Ny+y)*Nx+x].
+type Grid struct {
+	Nx, Ny, Nz int
+	Data       []float64
+}
+
+// NewGrid allocates a zeroed grid. For 2-D grids pass nz == 1.
+func NewGrid(nx, ny, nz int) *Grid {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("stencil: invalid grid dims %dx%dx%d", nx, ny, nz))
+	}
+	return &Grid{Nx: nx, Ny: ny, Nz: nz, Data: make([]float64, nx*ny*nz)}
+}
+
+// At returns the value at (x, y, z).
+func (g *Grid) At(x, y, z int) float64 { return g.Data[(z*g.Ny+y)*g.Nx+x] }
+
+// Set stores v at (x, y, z).
+func (g *Grid) Set(x, y, z int, v float64) { g.Data[(z*g.Ny+y)*g.Nx+x] = v }
+
+// Len returns the number of grid points.
+func (g *Grid) Len() int { return g.Nx * g.Ny * g.Nz }
+
+// Fill sets every point to f(x, y, z).
+func (g *Grid) Fill(f func(x, y, z int) float64) {
+	i := 0
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			for x := 0; x < g.Nx; x++ {
+				g.Data[i] = f(x, y, z)
+				i++
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{Nx: g.Nx, Ny: g.Ny, Nz: g.Nz, Data: make([]float64, len(g.Data))}
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Coefficients assigns a weight to every stencil offset. The reference
+// executor computes out[p] = sum_i w_i * in[p+offset_i].
+type Coefficients []float64
+
+// UniformCoefficients returns 1/n weights for a stencil with n points,
+// the smoothing kernel used by the examples.
+func UniformCoefficients(s Stencil) Coefficients {
+	c := make(Coefficients, len(s.Points))
+	w := 1.0 / float64(len(s.Points))
+	for i := range c {
+		c[i] = w
+	}
+	return c
+}
+
+// Apply runs one serial time step of the stencil over the interior of in,
+// writing results to out. Boundary points (within s.Order() of any face)
+// are copied unchanged, matching the paper's scope of stencils without
+// boundary-condition handling. in and out must have identical dimensions,
+// and coeffs must have one weight per stencil point.
+func Apply(s Stencil, coeffs Coefficients, in, out *Grid) error {
+	if err := checkApply(s, coeffs, in, out); err != nil {
+		return err
+	}
+	copy(out.Data, in.Data)
+	r := s.Order()
+	z0, z1 := bounds(s.Dims, r, in.Nz)
+	for z := z0; z < z1; z++ {
+		applyPlane(s, coeffs, in, out, z, r)
+	}
+	return nil
+}
+
+// ApplyParallel runs one time step of the stencil, splitting interior rows
+// across GOMAXPROCS goroutines. It computes identical results to Apply.
+func ApplyParallel(s Stencil, coeffs Coefficients, in, out *Grid) error {
+	if err := checkApply(s, coeffs, in, out); err != nil {
+		return err
+	}
+	copy(out.Data, in.Data)
+	r := s.Order()
+	z0, z1 := bounds(s.Dims, r, in.Nz)
+
+	type span struct{ z int }
+	work := make(chan span, z1-z0)
+	for z := z0; z < z1; z++ {
+		work <- span{z}
+	}
+	close(work)
+
+	workers := runtime.GOMAXPROCS(0)
+	if n := z1 - z0; workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				applyPlane(s, coeffs, in, out, sp.z, r)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// ApplySteps runs t time steps, ping-ponging between two buffers, and
+// returns the grid holding the final state. parallel selects the executor.
+func ApplySteps(s Stencil, coeffs Coefficients, in *Grid, steps int, parallel bool) (*Grid, error) {
+	cur := in.Clone()
+	next := NewGrid(in.Nx, in.Ny, in.Nz)
+	for t := 0; t < steps; t++ {
+		var err error
+		if parallel {
+			err = ApplyParallel(s, coeffs, cur, next)
+		} else {
+			err = Apply(s, coeffs, cur, next)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+func applyPlane(s Stencil, coeffs Coefficients, in, out *Grid, z, r int) {
+	nx, ny := in.Nx, in.Ny
+	for y := r; y < ny-r; y++ {
+		base := (z*ny + y) * nx
+		for x := r; x < nx-r; x++ {
+			acc := 0.0
+			for i, p := range s.Points {
+				acc += coeffs[i] * in.Data[((z+p.Dz)*ny+(y+p.Dy))*nx+(x+p.Dx)]
+			}
+			out.Data[base+x] = acc
+		}
+	}
+}
+
+func bounds(dims, r, nz int) (int, int) {
+	if dims == 2 {
+		return 0, nz // 2-D grids have nz == 1 and no z halo
+	}
+	return r, nz - r
+}
+
+func checkApply(s Stencil, coeffs Coefficients, in, out *Grid) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(coeffs) != len(s.Points) {
+		return fmt.Errorf("stencil %q: %d coefficients for %d points", s.Name, len(coeffs), len(s.Points))
+	}
+	if in.Nx != out.Nx || in.Ny != out.Ny || in.Nz != out.Nz {
+		return fmt.Errorf("stencil %q: grid dims mismatch in=%dx%dx%d out=%dx%dx%d",
+			s.Name, in.Nx, in.Ny, in.Nz, out.Nx, out.Ny, out.Nz)
+	}
+	if s.Dims == 2 && in.Nz != 1 {
+		return fmt.Errorf("stencil %q: 2-D stencil applied to 3-D grid (nz=%d)", s.Name, in.Nz)
+	}
+	r := s.Order()
+	if in.Nx < 2*r+1 || in.Ny < 2*r+1 || (s.Dims == 3 && in.Nz < 2*r+1) {
+		return fmt.Errorf("stencil %q: grid %dx%dx%d too small for order %d",
+			s.Name, in.Nx, in.Ny, in.Nz, r)
+	}
+	return nil
+}

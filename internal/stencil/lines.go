@@ -1,0 +1,30 @@
+package stencil
+
+// LineCount returns the number of distinct grid lines (fixed dy, dz; the
+// x extent is contiguous) the stencil touches per output point. It is the
+// footprint measure driving cache behavior in the performance model and
+// the engineered regression features.
+func LineCount(s Stencil) int {
+	type line struct{ dy, dz int }
+	seen := make(map[line]bool)
+	for _, p := range s.Points {
+		seen[line{p.Dy, p.Dz}] = true
+	}
+	return len(seen)
+}
+
+// PlaneLineCount returns the distinct in-plane lines once the given
+// streaming dimension (1=x, 2=y, 3=z) is collapsed: the per-plane miss
+// footprint of a register-streaming kernel.
+func PlaneLineCount(s Stencil, streamDim int) int {
+	seen := make(map[int]bool)
+	for _, p := range s.Points {
+		switch streamDim {
+		case 3: // stream z: plane (x, y), lines along x -> distinct dy
+			seen[p.Dy] = true
+		default: // stream x or y: remaining lines differ by dz
+			seen[p.Dz] = true
+		}
+	}
+	return len(seen)
+}

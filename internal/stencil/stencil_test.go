@@ -1,0 +1,320 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOrder(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Point{}, 0},
+		{Point{1, 0, 0}, 1},
+		{Point{-1, 0, 0}, 1},
+		{Point{2, 1, 0}, 2},
+		{Point{-3, 3, -2}, 3},
+		{Point{0, 0, 4}, 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Order(); got != c.want {
+			t.Errorf("Order(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPointDistances(t *testing.T) {
+	p := Point{3, -4, 0}
+	if got := p.Manhattan(); got != 7 {
+		t.Errorf("Manhattan = %d, want 7", got)
+	}
+	if got := p.Euclidean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclidean = %g, want 5", got)
+	}
+}
+
+func TestPointNeighborsCount(t *testing.T) {
+	if got := len(Point{}.Neighbors(2)); got != 8 {
+		t.Errorf("2-D neighbors = %d, want 8", got)
+	}
+	if got := len(Point{}.Neighbors(3)); got != 26 {
+		t.Errorf("3-D neighbors = %d, want 26", got)
+	}
+	for _, n := range (Point{1, 1, 0}).Neighbors(2) {
+		if n.Dz != 0 {
+			t.Errorf("2-D neighbor %v has nonzero dz", n)
+		}
+	}
+}
+
+func TestClassicShapeSizes(t *testing.T) {
+	cases := []struct {
+		s    Stencil
+		want int
+	}{
+		{Star(2, 1), 5},
+		{Star(2, 4), 17},
+		{Star(3, 1), 7},
+		{Star(3, 4), 25},
+		{Box(2, 1), 9},
+		{Box(2, 4), 81},
+		{Box(3, 1), 27},
+		{Box(3, 2), 125},
+		{Cross(2, 1), 5},
+		{Cross(2, 2), 9},
+		{Cross(3, 1), 9},
+	}
+	for _, c := range cases {
+		if got := c.s.NumPoints(); got != c.want {
+			t.Errorf("%s: NumPoints = %d, want %d", c.s.Name, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for dims := 2; dims <= 3; dims++ {
+		for order := 1; order <= MaxOrder; order++ {
+			if got := Star(dims, order).Classify(); got != ShapeStar {
+				t.Errorf("star %dd%dr classified as %v", dims, order, got)
+			}
+			if got := Box(dims, order).Classify(); got != ShapeBox {
+				t.Errorf("box %dd%dr classified as %v", dims, order, got)
+			}
+			if got := Cross(dims, order).Classify(); got != ShapeCross {
+				t.Errorf("cross %dd%dr classified as %v", dims, order, got)
+			}
+		}
+	}
+	free := MustNew("free", 2, []Point{{1, 0, 0}, {0, 2, 0}})
+	if got := free.Classify(); got != ShapeFree {
+		t.Errorf("free stencil classified as %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("box3d2r")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if s.Dims != 3 || s.Order() != 2 || s.Classify() != ShapeBox {
+		t.Errorf("ByName(box3d2r) = %v", s)
+	}
+	for _, bad := range []string{"blob2d1r", "star4d1r", "star2d9r", "star", ""} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New("bad", 4, nil); err == nil {
+		t.Error("dims=4 accepted")
+	}
+	if _, err := New("bad", 2, []Point{{0, 0, 1}}); err == nil {
+		t.Error("2-D stencil with dz accepted")
+	}
+	if _, err := New("bad", 2, []Point{{5, 0, 0}}); err == nil {
+		t.Error("order-5 point accepted")
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	s := MustNew("dup", 2, []Point{{1, 0, 0}, {1, 0, 0}, {-1, 0, 0}})
+	if s.NumPoints() != 3 { // center added, duplicate removed
+		t.Fatalf("NumPoints = %d, want 3", s.NumPoints())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !s.Contains(Point{}) {
+		t.Error("center missing after canonicalization")
+	}
+	if s.Contains(Point{2, 2, 0}) {
+		t.Error("Contains reports absent point")
+	}
+}
+
+func TestRepresentativeSuite(t *testing.T) {
+	all := RepresentativeAll()
+	if len(all) != 24 {
+		t.Fatalf("RepresentativeAll: %d stencils, want 24", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate stencil %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestFLOPsPerPoint(t *testing.T) {
+	if got := Star(2, 1).FLOPsPerPoint(); got != 9 {
+		t.Errorf("star2d1r FLOPs = %d, want 9", got)
+	}
+}
+
+// TestApplyLaplacianStar checks the executor against a hand-computed
+// 5-point average on a small grid.
+func TestApplyLaplacianStar(t *testing.T) {
+	s := Star(2, 1)
+	in := NewGrid(5, 5, 1)
+	in.Set(2, 2, 0, 5)
+	out := NewGrid(5, 5, 1)
+	if err := Apply(s, UniformCoefficients(s), in, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(2, 2, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("center = %g, want 1", got)
+	}
+	if got := out.At(2, 1, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("neighbor = %g, want 1", got)
+	}
+	if got := out.At(1, 1, 0); got != 0 {
+		t.Errorf("diagonal = %g, want 0", got)
+	}
+	// Boundary copied unchanged.
+	if got := out.At(0, 0, 0); got != 0 {
+		t.Errorf("boundary = %g, want 0", got)
+	}
+}
+
+func TestApplyParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range []Stencil{Star(2, 2), Box(2, 1), Cross(3, 1), Star(3, 4), Box(3, 2)} {
+		nx, ny, nz := 20, 18, 1
+		if s.Dims == 3 {
+			nz = 16
+		}
+		in := NewGrid(nx, ny, nz)
+		for i := range in.Data {
+			in.Data[i] = rng.Float64()
+		}
+		coeffs := make(Coefficients, s.NumPoints())
+		for i := range coeffs {
+			coeffs[i] = rng.Float64() - 0.5
+		}
+		a := NewGrid(nx, ny, nz)
+		b := NewGrid(nx, ny, nz)
+		if err := Apply(s, coeffs, in, a); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := ApplyParallel(s, coeffs, in, b); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("%s: serial/parallel mismatch at %d: %g vs %g",
+					s.Name, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+}
+
+func TestApplyStepsConservesUniformField(t *testing.T) {
+	// A uniform field is a fixed point of any averaging stencil.
+	s := Box(2, 2)
+	in := NewGrid(12, 12, 1)
+	in.Fill(func(x, y, z int) float64 { return 3.5 })
+	out, err := ApplySteps(s, UniformCoefficients(s), in, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if math.Abs(v-3.5) > 1e-9 {
+			t.Fatalf("point %d drifted to %g", i, v)
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := Star(2, 1)
+	in := NewGrid(5, 5, 1)
+	out := NewGrid(6, 5, 1)
+	if err := Apply(s, UniformCoefficients(s), in, out); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	if err := Apply(s, Coefficients{1}, in, in.Clone()); err == nil {
+		t.Error("coefficient count mismatch accepted")
+	}
+	tiny := NewGrid(2, 2, 1)
+	if err := Apply(s, UniformCoefficients(s), tiny, tiny.Clone()); err == nil {
+		t.Error("too-small grid accepted")
+	}
+	g3 := NewGrid(5, 5, 5)
+	if err := Apply(s, UniformCoefficients(s), g3, g3.Clone()); err == nil {
+		t.Error("2-D stencil on 3-D grid accepted")
+	}
+}
+
+// Property: canonicalization is idempotent and always yields a valid
+// stencil containing the center, for arbitrary in-range offsets.
+func TestQuickCanonicalValid(t *testing.T) {
+	f := func(raw []int8, threeD bool) bool {
+		dims := 2
+		if threeD {
+			dims = 3
+		}
+		var pts []Point
+		for i := 0; i+2 < len(raw); i += 3 {
+			p := Point{
+				Dx: int(raw[i])%(MaxOrder+1) - MaxOrder/2,
+				Dy: int(raw[i+1])%(MaxOrder+1) - MaxOrder/2,
+			}
+			if dims == 3 {
+				p.Dz = int(raw[i+2])%(MaxOrder+1) - MaxOrder/2
+			}
+			if p.Order() <= MaxOrder {
+				pts = append(pts, p)
+			}
+		}
+		s, err := New("q", dims, pts)
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil || !s.Contains(Point{}) {
+			return false
+		}
+		s2, err := New("q", dims, s.Points)
+		if err != nil || len(s2.Points) != len(s.Points) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: order equals the max point order and PointsAtOrder partitions
+// the point set.
+func TestQuickOrderPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			pts = append(pts, Point{
+				Dx: rng.Intn(2*MaxOrder+1) - MaxOrder,
+				Dy: rng.Intn(2*MaxOrder+1) - MaxOrder,
+			})
+		}
+		s, err := New("q", 2, pts)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for o := 0; o <= MaxOrder; o++ {
+			total += len(s.PointsAtOrder(o))
+		}
+		return total == s.NumPoints()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import (
+	"math"
+
+	"stencilmart/internal/stencil"
+)
+
+// FeatureNames lists the Table II candidate feature set in vector order:
+// order, nnz, sparsity, then nnz and nnzRatio per neighbor order 1..4,
+// followed by geometric extensions that encode what the binary tensor
+// carries implicitly: a dims indicator, mean and max Euclidean distance
+// of accessed neighbors, and the memory-footprint line counts (distinct
+// grid lines touched per output point, and per plane once the default
+// streaming dimension is collapsed) that govern how profitable streaming
+// and temporal blocking are.
+var FeatureNames = []string{
+	"order", "nnz", "sparsity",
+	"nnz_order1", "nnz_order2", "nnz_order3", "nnz_order4",
+	"nnzRatio_order1", "nnzRatio_order2", "nnzRatio_order3", "nnzRatio_order4",
+	"dims3", "meanDist", "maxDist",
+	"lines", "planeLines",
+}
+
+// NumFeatures is the length of the Table II feature vector.
+var NumFeatures = len(FeatureNames)
+
+// Features extracts the Table II candidate feature set from a stencil.
+// All counts are raw; ratios are relative to the total non-zero count.
+func Features(s stencil.Stencil) []float64 {
+	f := make([]float64, NumFeatures)
+	nnz := float64(s.NumPoints())
+	f[0] = float64(s.Order())
+	f[1] = nnz
+	f[2] = MustAssign(s).Sparsity()
+	for o := 1; o <= stencil.MaxOrder; o++ {
+		cnt := float64(len(s.PointsAtOrder(o)))
+		f[2+o] = cnt
+		f[6+o] = cnt / nnz
+	}
+	if s.Dims == 3 {
+		f[11] = 1
+	}
+	var sum, maxd float64
+	for _, p := range s.Points {
+		d := p.Euclidean()
+		sum += d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	f[12] = sum / nnz
+	f[13] = maxd
+	f[14] = float64(stencil.LineCount(s))
+	f[15] = float64(stencil.PlaneLineCount(s, 3))
+	return f
+}
+
+// NormalizeColumns scales every column of a feature matrix to [0, 1] by
+// dividing by the column maximum (the paper's normalization for MLP and
+// ConvMLP inputs). Columns whose maximum is zero are left untouched. The
+// returned scale slice allows applying the same normalization to test
+// data: normalized[j] = raw[j] / scale[j].
+func NormalizeColumns(rows [][]float64) (scale []float64) {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := len(rows[0])
+	scale = make([]float64, n)
+	for _, r := range rows {
+		for j, v := range r {
+			if a := math.Abs(v); a > scale[j] {
+				scale[j] = a
+			}
+		}
+	}
+	for j := range scale {
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	for _, r := range rows {
+		for j := range r {
+			r[j] /= scale[j]
+		}
+	}
+	return scale
+}
+
+// ApplyScale normalizes a single feature vector with a scale previously
+// returned by NormalizeColumns.
+func ApplyScale(row, scale []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = v / scale[j]
+	}
+	return out
+}

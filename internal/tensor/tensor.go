@@ -1,0 +1,112 @@
+// Package tensor implements the paper's stencil representations: binary
+// sparse tensors (Fig. 6 tensor assignment, consumed by the convolutional
+// models) and the hand-engineered neighboring feature set (Table II,
+// consumed by the gradient-boosted models and the MLP regressor).
+package tensor
+
+import (
+	"fmt"
+
+	"stencilmart/internal/stencil"
+)
+
+// Side is the edge length of the assigned tensor: 2*MaxOrder+1 cells per
+// dimension, so a 2-D stencil becomes a 9x9 tensor and a 3-D stencil a
+// 9x9x9 tensor.
+const Side = 2*stencil.MaxOrder + 1
+
+// Binary is the assigned binary tensor of a stencil's access pattern.
+// Values are stored as float64 so the tensor feeds directly into the
+// neural-network input layer; each cell is 0 or 1.
+type Binary struct {
+	// Dims is 2 or 3, matching the source stencil.
+	Dims int
+	// Data holds Side^Dims cells in row-major order, indexed as
+	// [(z*Side+y)*Side+x] with the stencil center at the middle cell.
+	Data []float64
+}
+
+// Assign rasterizes the stencil's access pattern into a binary tensor with
+// the central point at the middle cell, per Fig. 6 of the paper.
+func Assign(s stencil.Stencil) (Binary, error) {
+	if err := s.Validate(); err != nil {
+		return Binary{}, fmt.Errorf("tensor: %w", err)
+	}
+	b := Binary{Dims: s.Dims}
+	size := Side * Side
+	if s.Dims == 3 {
+		size *= Side
+	}
+	b.Data = make([]float64, size)
+	for _, p := range s.Points {
+		b.Data[b.index(p)] = 1
+	}
+	return b, nil
+}
+
+// MustAssign is Assign, panicking on error; for statically valid stencils.
+func MustAssign(s stencil.Stencil) Binary {
+	b, err := Assign(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// index maps a stencil offset to its tensor cell.
+func (b Binary) index(p stencil.Point) int {
+	const c = stencil.MaxOrder
+	x, y, z := p.Dx+c, p.Dy+c, p.Dz+c
+	if b.Dims == 2 {
+		return y*Side + x
+	}
+	return (z*Side+y)*Side + x
+}
+
+// At returns the cell value for a stencil offset.
+func (b Binary) At(p stencil.Point) float64 { return b.Data[b.index(p)] }
+
+// NNZ returns the number of non-zero cells.
+func (b Binary) NNZ() int {
+	n := 0
+	for _, v := range b.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the density of non-zeros: NNZ over the tensor volume.
+func (b Binary) Sparsity() float64 {
+	return float64(b.NNZ()) / float64(len(b.Data))
+}
+
+// Stencil reconstructs the access pattern encoded by the tensor. It is the
+// inverse of Assign and is used by round-trip property tests.
+func (b Binary) Stencil(name string) (stencil.Stencil, error) {
+	const c = stencil.MaxOrder
+	var pts []stencil.Point
+	zs := 1
+	if b.Dims == 3 {
+		zs = Side
+	}
+	for z := 0; z < zs; z++ {
+		for y := 0; y < Side; y++ {
+			for x := 0; x < Side; x++ {
+				i := (z*Side+y)*Side + x
+				if b.Dims == 2 {
+					i = y*Side + x
+				}
+				if b.Data[i] != 0 {
+					p := stencil.Point{Dx: x - c, Dy: y - c}
+					if b.Dims == 3 {
+						p.Dz = z - c
+					}
+					pts = append(pts, p)
+				}
+			}
+		}
+	}
+	return stencil.New(name, b.Dims, pts)
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stencilmart/internal/gen"
+	"stencilmart/internal/stencil"
+)
+
+func TestAssignStar2D(t *testing.T) {
+	b := MustAssign(stencil.Star(2, 1))
+	if b.Dims != 2 || len(b.Data) != Side*Side {
+		t.Fatalf("bad tensor shape: dims=%d len=%d", b.Dims, len(b.Data))
+	}
+	if b.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", b.NNZ())
+	}
+	if b.At(stencil.Point{}) != 1 {
+		t.Error("center cell not set")
+	}
+	if b.At(stencil.Point{Dx: 1}) != 1 || b.At(stencil.Point{Dy: -1}) != 1 {
+		t.Error("axis cells not set")
+	}
+	if b.At(stencil.Point{Dx: 1, Dy: 1}) != 0 {
+		t.Error("diagonal cell set for star stencil")
+	}
+}
+
+func TestAssign3DVolume(t *testing.T) {
+	b := MustAssign(stencil.Box(3, 1))
+	if len(b.Data) != Side*Side*Side {
+		t.Fatalf("3-D tensor length %d, want %d", len(b.Data), Side*Side*Side)
+	}
+	if b.NNZ() != 27 {
+		t.Errorf("NNZ = %d, want 27", b.NNZ())
+	}
+	want := 27.0 / float64(Side*Side*Side)
+	if s := b.Sparsity(); math.Abs(s-want) > 1e-12 {
+		t.Errorf("Sparsity = %g, want %g", s, want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, s := range stencil.RepresentativeAll() {
+		b := MustAssign(s)
+		back, err := b.Stencil(s.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if back.NumPoints() != s.NumPoints() {
+			t.Fatalf("%s: round trip lost points: %d -> %d", s.Name, s.NumPoints(), back.NumPoints())
+		}
+		for i := range s.Points {
+			if s.Points[i] != back.Points[i] {
+				t.Fatalf("%s: point %d differs after round trip", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestQuickRoundTripRandom(t *testing.T) {
+	g2, _ := gen.New(gen.Options{Dims: 2}, 17)
+	g3, _ := gen.New(gen.Options{Dims: 3}, 18)
+	f := func(threeD bool) bool {
+		g := g2
+		if threeD {
+			g = g3
+		}
+		s := g.Next()
+		b := MustAssign(s)
+		back, err := b.Stencil(s.Name)
+		if err != nil || back.NumPoints() != s.NumPoints() {
+			return false
+		}
+		for i := range s.Points {
+			if s.Points[i] != back.Points[i] {
+				return false
+			}
+		}
+		return b.NNZ() == s.NumPoints()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeaturesStar(t *testing.T) {
+	f := Features(stencil.Star(2, 2))
+	if len(f) != NumFeatures {
+		t.Fatalf("feature length %d, want %d", len(f), NumFeatures)
+	}
+	if f[0] != 2 {
+		t.Errorf("order feature = %g, want 2", f[0])
+	}
+	if f[1] != 9 {
+		t.Errorf("nnz feature = %g, want 9", f[1])
+	}
+	if f[3] != 4 || f[4] != 4 || f[5] != 0 {
+		t.Errorf("per-order nnz = %g,%g,%g want 4,4,0", f[3], f[4], f[5])
+	}
+	if math.Abs(f[7]-4.0/9) > 1e-12 {
+		t.Errorf("nnzRatio_order1 = %g, want %g", f[7], 4.0/9)
+	}
+	if f[11] != 0 {
+		t.Errorf("dims3 = %g for 2-D stencil", f[11])
+	}
+	if f[13] != 2 {
+		t.Errorf("maxDist = %g, want 2", f[13])
+	}
+}
+
+func TestFeaturesDims3Flag(t *testing.T) {
+	if f := Features(stencil.Star(3, 1)); f[11] != 1 {
+		t.Errorf("dims3 = %g for 3-D stencil", f[11])
+	}
+}
+
+// Property: per-order ratios sum to (nnz-1)/nnz — everything except the
+// central point — for any generated stencil.
+func TestQuickRatioSum(t *testing.T) {
+	g, _ := gen.New(gen.Options{Dims: 3}, 23)
+	f := func(uint8) bool {
+		s := g.Next()
+		feats := Features(s)
+		sum := feats[7] + feats[8] + feats[9] + feats[10]
+		want := (feats[1] - 1) / feats[1]
+		return math.Abs(sum-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeColumns(t *testing.T) {
+	rows := [][]float64{{2, 10, 0}, {4, 5, 0}, {1, 20, 0}}
+	scale := NormalizeColumns(rows)
+	if scale[0] != 4 || scale[1] != 20 || scale[2] != 1 {
+		t.Fatalf("scale = %v", scale)
+	}
+	if rows[0][0] != 0.5 || rows[2][1] != 1 {
+		t.Errorf("normalized rows = %v", rows)
+	}
+	for _, r := range rows {
+		for _, v := range r {
+			if v < 0 || v > 1 {
+				t.Fatalf("value %g outside [0,1]", v)
+			}
+		}
+	}
+	applied := ApplyScale([]float64{2, 10, 7}, scale)
+	if applied[0] != 0.5 || applied[1] != 0.5 || applied[2] != 7 {
+		t.Errorf("ApplyScale = %v", applied)
+	}
+}
+
+func TestNormalizeColumnsEmpty(t *testing.T) {
+	if scale := NormalizeColumns(nil); scale != nil {
+		t.Errorf("scale for empty input = %v, want nil", scale)
+	}
+}

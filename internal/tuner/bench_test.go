@@ -1,0 +1,30 @@
+package tuner
+
+import (
+	"testing"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+)
+
+// BenchmarkTuners measures the cost of one 48-evaluation tuning run per
+// strategy (the csTuner-style GA vs the paper's random search).
+func BenchmarkTuners(b *testing.B) {
+	m := sim.New()
+	w := sim.DefaultWorkload(stencil.Box(3, 2))
+	arch, err := gpu.ByName("V100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tn := range []Tuner{Random{}, Genetic{}} {
+		b.Run(tn.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tn.Tune(m, w, opt.ST|opt.TB, arch, 48, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

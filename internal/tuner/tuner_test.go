@@ -1,0 +1,107 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+)
+
+func setup(t *testing.T) (*sim.Model, sim.Workload, gpu.Arch) {
+	t.Helper()
+	arch, err := gpu.ByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(), sim.DefaultWorkload(stencil.Box(3, 2)), arch
+}
+
+func TestRandomRespectsBudget(t *testing.T) {
+	m, w, arch := setup(t)
+	res, err := (Random{}).Tune(m, w, opt.ST, arch, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 20 {
+		t.Errorf("evaluations = %d, want 20", res.Evaluations)
+	}
+	if res.Time <= 0 || math.IsInf(res.Time, 0) {
+		t.Errorf("time %g", res.Time)
+	}
+	if err := res.Params.Validate(opt.ST, 3); err != nil {
+		t.Errorf("winning params invalid: %v", err)
+	}
+}
+
+func TestGeneticRespectsBudget(t *testing.T) {
+	m, w, arch := setup(t)
+	res, err := (Genetic{}).Tune(m, w, opt.ST|opt.TB, arch, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 40 {
+		t.Errorf("evaluations %d exceed budget 40", res.Evaluations)
+	}
+	if err := res.Params.Validate(opt.ST|opt.TB, 3); err != nil {
+		t.Errorf("winning params invalid: %v", err)
+	}
+}
+
+// TestGeneticCompetitiveWithRandom checks the csTuner claim: on a
+// parameter-sensitive OC, the GA should not lose to random search at
+// equal budgets (averaged across seeds).
+func TestGeneticCompetitiveWithRandom(t *testing.T) {
+	m, w, arch := setup(t)
+	oc := opt.ST | opt.TB | opt.CM | opt.PR
+	var gaBetter int
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		ga, err1 := (Genetic{}).Tune(m, w, oc, arch, 48, seed)
+		rd, err2 := (Random{}).Tune(m, w, oc, arch, 48, seed+100)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if ga.Time <= rd.Time*1.02 { // within 2% counts as no-loss
+			gaBetter++
+		}
+	}
+	if gaBetter < trials/2 {
+		t.Errorf("GA competitive in only %d/%d trials", gaBetter, trials)
+	}
+}
+
+func TestTunerErrors(t *testing.T) {
+	m, w, arch := setup(t)
+	if _, err := (Random{}).Tune(m, w, opt.ST, arch, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := (Genetic{}).Tune(m, w, opt.ST, arch, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+	// An OC that crashes for this stencil must return an error: TB
+	// without ST on a 3-D order-4 stencil.
+	w4 := sim.DefaultWorkload(stencil.Star(3, 4))
+	if _, err := (Random{}).Tune(m, w4, opt.TB, arch, 16, 1); err == nil {
+		t.Error("crashing OC produced a result (random)")
+	}
+	if _, err := (Genetic{}).Tune(m, w4, opt.TB, arch, 16, 1); err == nil {
+		t.Error("crashing OC produced a result (genetic)")
+	}
+}
+
+func TestCrossoverMutatePreserveValidity(t *testing.T) {
+	m, w, arch := setup(t)
+	_ = m
+	_ = arch
+	// Crossover of two valid settings stays structurally valid for the
+	// same OC often enough that the repair path is rare; here we just
+	// require the tuner end-to-end to emit valid params, already covered
+	// above, and verify names.
+	if (Random{}).Name() != "random" || (Genetic{}).Name() != "genetic" {
+		t.Error("tuner names wrong")
+	}
+	_ = w
+}
