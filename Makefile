@@ -1,0 +1,27 @@
+# Convenience targets around the Go toolchain; `make check` is the full
+# verification gate (build + vet + tests + race detector).
+
+GO ?= go
+
+.PHONY: build test vet race check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test ./internal/profile/ -fuzz FuzzDatasetRoundTrip -fuzztime 30s

@@ -428,6 +428,18 @@ func cmdExperiment(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Accept `experiment fig9` as well as `experiment -id fig9`: a
+	// silently ignored positional id would fall back to the full (slow)
+	// suite.
+	if fs.NArg() > 1 {
+		return fmt.Errorf("experiment: unexpected arguments %q", fs.Args()[1:])
+	}
+	if fs.NArg() == 1 {
+		if *id != "all" && *id != fs.Arg(0) {
+			return fmt.Errorf("experiment: both -id %s and positional id %s given", *id, fs.Arg(0))
+		}
+		*id = fs.Arg(0)
+	}
 	cfg, err := configFromPreset(*preset, *seed)
 	if err != nil {
 		return err

@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"testing"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/testutil"
+)
+
+// tuneCorpus runs both baseline strategies over the suite corpus on one
+// model — the equal-budget comparison of the evaluation figures, which
+// re-prices many identical (stencil, OC, params, arch) cells.
+func tuneCorpus(t testing.TB, m *sim.Model, arch gpu.Arch) {
+	t.Helper()
+	for si, s := range testutil.SmallCorpus(t) {
+		w := sim.DefaultWorkload(s)
+		for _, strat := range []Strategy{AN5D{}, Artemis{}} {
+			if _, err := strat.Tune(m, w, arch, 12, int64(si)); err != nil {
+				t.Logf("%s on %s: %v", strat.Name(), s.Name, err)
+			}
+		}
+	}
+}
+
+// TestBaselineTuningHitsCache asserts the memo cache actually absorbs
+// repeated work in the equal-budget baseline comparison: running the same
+// tuning twice must produce hits the second time (the ISSUE's hit-rate
+// acceptance criterion).
+func TestBaselineTuningHitsCache(t *testing.T) {
+	m := sim.New()
+	arch, err := gpu.ByName("P100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuneCorpus(t, m, arch)
+	tuneCorpus(t, m, arch)
+	st := m.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits after repeated equal-budget tuning: %+v", st)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("hit rate %v, want > 0 (%+v)", st.HitRate(), st)
+	}
+}
+
+// BenchmarkBaselineTuneCached measures the equal-budget comparison with
+// the memo cache warm, reporting the achieved hit rate.
+func BenchmarkBaselineTuneCached(b *testing.B) {
+	m := sim.New()
+	arch, err := gpu.ByName("P100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuneCorpus(b, m, arch) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuneCorpus(b, m, arch)
+	}
+	b.StopTimer()
+	b.ReportMetric(m.CacheStats().HitRate(), "hit-rate")
+}
+
+// BenchmarkBaselineTuneUncached is the same workload with the cache off —
+// the before side of the EXPERIMENTS.md comparison.
+func BenchmarkBaselineTuneUncached(b *testing.B) {
+	m := sim.New()
+	m.DisableCache()
+	arch, err := gpu.ByName("P100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tuneCorpus(b, m, arch)
+	}
+}

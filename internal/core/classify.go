@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,10 +13,24 @@ import (
 	"stencilmart/internal/ml/nn"
 	"stencilmart/internal/ml/tree"
 	"stencilmart/internal/opt"
+	"stencilmart/internal/par"
 	"stencilmart/internal/sim"
 	"stencilmart/internal/stats"
 	"stencilmart/internal/stencil"
 )
+
+// trainTestSplit partitions fold index sets into the train and test
+// corpus indices for one held-out fold.
+func trainTestSplit(folds [][]int, fi int) (trainIdx, testIdx []int) {
+	for fj, fold := range folds {
+		if fj == fi {
+			testIdx = append(testIdx, fold...)
+		} else {
+			trainIdx = append(trainIdx, fold...)
+		}
+	}
+	return trainIdx, testIdx
+}
 
 // ClassifierKind selects one of the paper's OC-selection mechanisms.
 type ClassifierKind int
@@ -119,16 +134,12 @@ func (f *Framework) ClassifierAccuracy(kind ClassifierKind, archName string, dim
 	if err != nil {
 		return 0, err
 	}
-	var accs []float64
-	for fi := range folds {
-		var trainIdx, testIdx []int
-		for fj, fold := range folds {
-			if fj == fi {
-				testIdx = append(testIdx, fold...)
-			} else {
-				trainIdx = append(trainIdx, fold...)
-			}
-		}
+	// Folds train independently (each builds its own model from its own
+	// seed), so they run concurrently on the shared pool; accuracies
+	// collect in fold order, keeping the mean bit-identical to a serial
+	// loop under any GOMAXPROCS.
+	accs, err := par.Map(context.Background(), len(folds), 0, func(fi int) (float64, error) {
+		trainIdx, testIdx := trainTestSplit(folds, fi)
 		cls, enc, err := f.TrainClassifier(kind, archIdx, dims, trainIdx, f.Cfg.Seed+int64(fi))
 		if err != nil {
 			return 0, err
@@ -138,11 +149,10 @@ func (f *Framework) ClassifierAccuracy(kind ClassifierKind, archName string, dim
 		for i, si := range testIdx {
 			pred[i] = cls.PredictClass(enc(si))
 		}
-		acc, err := stats.Accuracy(truth, pred)
-		if err != nil {
-			return 0, err
-		}
-		accs = append(accs, acc)
+		return stats.Accuracy(truth, pred)
+	})
+	if err != nil {
+		return 0, err
 	}
 	return stats.Mean(accs), nil
 }
@@ -272,21 +282,18 @@ func (f *Framework) SpeedupVsBaseline(kind ClassifierKind, archName string, dims
 	if err != nil {
 		return 0, err
 	}
-	var ratios []float64
-	for fi := range folds {
-		var trainIdx, testIdx []int
-		for fj, fold := range folds {
-			if fj == fi {
-				testIdx = append(testIdx, fold...)
-			} else {
-				trainIdx = append(trainIdx, fold...)
-			}
-		}
+	// Per-fold tuning shares f.Model across goroutines: the simulator's
+	// memo cache is sharded, and identical (stencil, OC, params, arch)
+	// cells price identically whether cached or recomputed, so ratios
+	// match the serial loop exactly; fold order is restored on merge.
+	perFold, err := par.Map(context.Background(), len(folds), 0, func(fi int) ([]float64, error) {
+		trainIdx, testIdx := trainTestSplit(folds, fi)
 		cls, enc, err := f.TrainClassifier(kind, archIdx, dims, trainIdx, f.Cfg.Seed+int64(fi))
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		reps := f.contextReps(archIdx, trainIdx, 2)
+		var ratios []float64
 		for _, si := range testIdx {
 			w := sim.DefaultWorkload(f.Dataset.Stencils[si])
 			base, err := strat.Tune(f.Model, w, arch, f.Cfg.SamplesPerOC, f.Cfg.Seed+int64(si))
@@ -299,6 +306,14 @@ func (f *Framework) SpeedupVsBaseline(kind ClassifierKind, archName string, dims
 			}
 			ratios = append(ratios, base.Time/mine)
 		}
+		return ratios, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var ratios []float64
+	for _, r := range perFold {
+		ratios = append(ratios, r...)
 	}
 	if len(ratios) == 0 {
 		return 0, fmt.Errorf("core: no comparable stencils for %s vs %s", kind, strat.Name())

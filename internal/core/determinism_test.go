@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"stencilmart/internal/baseline"
+	"stencilmart/internal/testutil"
+)
+
+// sameBits fails unless two floats are bit-identical — the determinism
+// contract is exact equality, not tolerance.
+func sameBits(t *testing.T, label string, a, b float64) {
+	t.Helper()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("%s: %v != %v under different GOMAXPROCS", label, a, b)
+	}
+}
+
+// TestClassifierAccuracyDeterministicUnderGOMAXPROCS checks the
+// fold-parallel CV protocol end to end: same accuracy bits on one proc
+// and on all of them.
+func TestClassifierAccuracyDeterministicUnderGOMAXPROCS(t *testing.T) {
+	fw := testFramework(t)
+	var one, many float64
+	testutil.WithGOMAXPROCS(t, 1, func() {
+		acc, err := fw.ClassifierAccuracy(ClassGBDT, "V100", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one = acc
+	})
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() {
+		acc, err := fw.ClassifierAccuracy(ClassGBDT, "V100", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		many = acc
+	})
+	sameBits(t, "GBDT CV accuracy", one, many)
+}
+
+// TestRegressorMAPEDeterministicUnderGOMAXPROCS does the same for the
+// fold-parallel regression protocol, per architecture and overall.
+func TestRegressorMAPEDeterministicUnderGOMAXPROCS(t *testing.T) {
+	fw := testFramework(t)
+	run := func() (map[string]float64, float64) {
+		per, overall, err := fw.RegressorMAPE(RegGB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return per, overall
+	}
+	var per1, perN map[string]float64
+	var o1, oN float64
+	testutil.WithGOMAXPROCS(t, 1, func() { per1, o1 = run() })
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { perN, oN = run() })
+	sameBits(t, "overall MAPE", o1, oN)
+	if len(per1) != len(perN) {
+		t.Fatalf("per-arch map sizes differ: %d vs %d", len(per1), len(perN))
+	}
+	for arch, v := range per1 {
+		sameBits(t, "MAPE "+arch, v, perN[arch])
+	}
+}
+
+// TestSpeedupDeterministicUnderGOMAXPROCS covers the tuning path, which
+// additionally shares the simulator's memo cache across fold goroutines.
+func TestSpeedupDeterministicUnderGOMAXPROCS(t *testing.T) {
+	fw := testFramework(t)
+	run := func() float64 {
+		sp, err := fw.SpeedupVsBaseline(ClassGBDT, "A100", 2, baseline.Artemis{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	var one, many float64
+	testutil.WithGOMAXPROCS(t, 1, func() { one = run() })
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { many = run() })
+	sameBits(t, "speedup vs Artemis", one, many)
+}

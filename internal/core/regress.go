@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"stencilmart/internal/ml"
 	"stencilmart/internal/ml/nn"
 	"stencilmart/internal/ml/tree"
+	"stencilmart/internal/par"
 	"stencilmart/internal/profile"
 	"stencilmart/internal/stats"
 )
@@ -156,10 +158,15 @@ func (f *Framework) RegressorMAPE(kind RegressorKind, dims int) (map[string]floa
 	if err != nil {
 		return nil, 0, err
 	}
-	truthByArch := map[string][]float64{}
-	predByArch := map[string][]float64{}
-	var allTruth, allPred []float64
-	for fi := range folds {
+	// Folds train concurrently; each returns its test predictions in
+	// testPos order and the per-arch series merge in fold order, so the
+	// MAPEs are bit-identical to the serial loop.
+	type foldPreds struct {
+		archs []string
+		truth []float64
+		pred  []float64
+	}
+	perFold, err := par.Map(context.Background(), len(folds), 0, func(fi int) (foldPreds, error) {
 		trainPos, testPos := profile.TrainTest(folds, fi)
 		train := make([]profile.Instance, len(trainPos))
 		for i, p := range trainPos {
@@ -167,18 +174,33 @@ func (f *Framework) RegressorMAPE(kind RegressorKind, dims int) (map[string]floa
 		}
 		tr, err := f.TrainRegressor(kind, dims, train, f.Cfg.Seed+int64(fi))
 		if err != nil {
-			return nil, 0, err
+			return foldPreds{}, err
 		}
+		fp := foldPreds{}
 		for _, p := range testPos {
 			in := instances[p]
 			pred, err := tr.PredictSeconds(in)
 			if err != nil {
-				return nil, 0, err
+				return foldPreds{}, err
 			}
-			truthByArch[in.Arch] = append(truthByArch[in.Arch], in.Time)
-			predByArch[in.Arch] = append(predByArch[in.Arch], pred)
-			allTruth = append(allTruth, in.Time)
-			allPred = append(allPred, pred)
+			fp.archs = append(fp.archs, in.Arch)
+			fp.truth = append(fp.truth, in.Time)
+			fp.pred = append(fp.pred, pred)
+		}
+		return fp, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	truthByArch := map[string][]float64{}
+	predByArch := map[string][]float64{}
+	var allTruth, allPred []float64
+	for _, fp := range perFold {
+		for i, arch := range fp.archs {
+			truthByArch[arch] = append(truthByArch[arch], fp.truth[i])
+			predByArch[arch] = append(predByArch[arch], fp.pred[i])
+			allTruth = append(allTruth, fp.truth[i])
+			allPred = append(allPred, fp.pred[i])
 		}
 	}
 	out := make(map[string]float64, len(truthByArch))
@@ -219,6 +241,8 @@ func (f *Framework) MLPSweep(dims int, layerCounts, widths []int) ([]MLPSweepPoi
 	for i, p := range trainPos {
 		train[i] = instances[p]
 	}
+	// The sweep mutates f.Cfg per cell, so it stays serial; the training
+	// inside each cell already uses the nn batch parallelism.
 	var out []MLPSweepPoint
 	saveLayers, saveWidth := f.Cfg.MLPLayers, f.Cfg.MLPWidth
 	defer func() { f.Cfg.MLPLayers, f.Cfg.MLPWidth = saveLayers, saveWidth }()

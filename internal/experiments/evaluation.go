@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"stencilmart/internal/baseline"
 	"stencilmart/internal/core"
+	"stencilmart/internal/par"
 )
 
 // Fig9 reproduces the classification-accuracy comparison (paper: ConvNet
@@ -18,19 +20,21 @@ func (r *Runner) Fig9() error {
 	}
 	for _, kind := range core.ClassifierKinds {
 		for _, dims := range []int{2, 3} {
-			var accs []float64
-			fmt.Fprintf(r.Out, "%-8s %dD:", kind, dims)
-			for _, name := range sortedArchNames() {
-				acc, err := fw.ClassifierAccuracy(kind, name, dims)
-				if err != nil {
-					return err
-				}
-				accs = append(accs, acc)
-				fmt.Fprintf(r.Out, "  %s=%.1f%%", name, acc*100)
+			// Architectures evaluate concurrently (each trains its own
+			// models); printing happens afterwards in catalog order, so
+			// output is identical to the serial loop.
+			names := sortedArchNames()
+			accs, err := par.Map(context.Background(), len(names), 0, func(i int) (float64, error) {
+				return fw.ClassifierAccuracy(kind, names[i], dims)
+			})
+			if err != nil {
+				return err
 			}
+			fmt.Fprintf(r.Out, "%-8s %dD:", kind, dims)
 			var sum float64
-			for _, a := range accs {
-				sum += a
+			for i, name := range names {
+				sum += accs[i]
+				fmt.Fprintf(r.Out, "  %s=%.1f%%", name, accs[i]*100)
 			}
 			fmt.Fprintf(r.Out, "  avg=%.1f%%\n", sum/float64(len(accs))*100)
 		}
@@ -49,19 +53,18 @@ func (r *Runner) speedupFigure(title string, strat baseline.Strategy, paperNote 
 	}
 	for _, kind := range []core.ClassifierKind{core.ClassConvNet, core.ClassGBDT} {
 		for _, dims := range []int{2, 3} {
-			fmt.Fprintf(r.Out, "%-8s %dD:", kind, dims)
-			var all []float64
-			for _, name := range sortedArchNames() {
-				sp, err := fw.SpeedupVsBaseline(kind, name, dims, strat)
-				if err != nil {
-					return err
-				}
-				all = append(all, sp)
-				fmt.Fprintf(r.Out, "  %s=%.2fx", name, sp)
+			names := sortedArchNames()
+			all, err := par.Map(context.Background(), len(names), 0, func(i int) (float64, error) {
+				return fw.SpeedupVsBaseline(kind, names[i], dims, strat)
+			})
+			if err != nil {
+				return err
 			}
+			fmt.Fprintf(r.Out, "%-8s %dD:", kind, dims)
 			var prod float64 = 1
-			for _, s := range all {
-				prod *= s
+			for i, name := range names {
+				prod *= all[i]
+				fmt.Fprintf(r.Out, "  %s=%.2fx", name, all[i])
 			}
 			fmt.Fprintf(r.Out, "  avg=%.2fx\n", math.Pow(prod, 1/float64(len(all))))
 		}

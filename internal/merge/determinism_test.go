@@ -1,0 +1,63 @@
+package merge
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"stencilmart/internal/opt"
+	"stencilmart/internal/testutil"
+)
+
+// synthBest builds a best-time matrix with a realistic share of NaN
+// (crashed) cells.
+func synthBest(seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([][]float64, opt.NumCombinations)
+	for i := range m {
+		m[i] = make([]float64, 24)
+		for j := range m[i] {
+			if rng.Float64() < 0.15 {
+				m[i][j] = math.NaN()
+				continue
+			}
+			m[i][j] = math.Exp(rng.NormFloat64()) * 1e-3
+		}
+	}
+	return m
+}
+
+// TestPCCMatrixDeterministicUnderGOMAXPROCS is the differential check
+// for the row-parallel correlation matrix: results must be bit-identical
+// to the single-proc run.
+func TestPCCMatrixDeterministicUnderGOMAXPROCS(t *testing.T) {
+	best := synthBest(31)
+	var serial, parallel [][]float64
+	testutil.WithGOMAXPROCS(t, 1, func() { serial = PCCMatrix(best) })
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { parallel = PCCMatrix(best) })
+	for i := range serial {
+		for j := range serial[i] {
+			if math.Float64bits(serial[i][j]) != math.Float64bits(parallel[i][j]) {
+				t.Fatalf("pcc[%d][%d]: serial %v != parallel %v", i, j, serial[i][j], parallel[i][j])
+			}
+		}
+	}
+}
+
+// TestPCCMatrixSymmetric checks the invariant the row-parallel writes
+// rely on: out[i][j] and out[j][i] are written once, by row min(i,j).
+func TestPCCMatrixSymmetric(t *testing.T) {
+	pcc := PCCMatrix(synthBest(77))
+	for i := range pcc {
+		if pcc[i][i] != 1 {
+			t.Fatalf("diagonal [%d] = %v, want 1", i, pcc[i][i])
+		}
+		for j := range pcc[i] {
+			a, b := pcc[i][j], pcc[j][i]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("pcc[%d][%d]=%v but pcc[%d][%d]=%v", i, j, a, j, i, b)
+			}
+		}
+	}
+}

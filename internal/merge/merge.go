@@ -7,11 +7,13 @@
 package merge
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"stencilmart/internal/opt"
+	"stencilmart/internal/par"
 	"stencilmart/internal/stats"
 )
 
@@ -60,7 +62,10 @@ func PCCMatrix(best [][]float64) [][]float64 {
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
+	// Rows compute in parallel: row i owns out[i][j] and out[j][i] for all
+	// j > i, and no other row writes those cells, so the matrix is
+	// identical to the serial double loop.
+	par.ForEach(context.Background(), n, 0, func(i int) error {
 		for j := i + 1; j < n; j++ {
 			var xs, ys []float64
 			for s := range best[i] {
@@ -79,7 +84,8 @@ func PCCMatrix(best [][]float64) [][]float64 {
 			out[i][j] = math.Abs(r)
 			out[j][i] = out[i][j]
 		}
-	}
+		return nil
+	})
 	return out
 }
 

@@ -1,10 +1,20 @@
 package tree
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"stencilmart/internal/par"
 )
+
+// parRowThreshold is the row count below which per-row prediction
+// updates run serially; pool dispatch overhead dominates under it.
+// Either path writes each row's slot independently, so the choice never
+// changes the fitted model.
+const parRowThreshold = 256
 
 // BoostConfig controls gradient boosting for both the classifier and the
 // regressor.
@@ -87,11 +97,25 @@ func (g *GBRegressor) FitRegressor(x [][]float64, y []float64) error {
 			return err
 		}
 		g.trees = append(g.trees, t)
-		for i := range pred {
-			pred[i] += g.cfg.LearningRate * t.Predict(x[i])
-		}
+		applyTree(pred, x, t, g.cfg.LearningRate)
 	}
 	return nil
+}
+
+// applyTree adds lr * t.Predict(x[i]) to pred[i] for every row, in
+// parallel for large batches. Each row writes only its own slot, so the
+// result is identical to the serial loop under any GOMAXPROCS.
+func applyTree(pred []float64, x [][]float64, t *Tree, lr float64) {
+	if len(pred) < parRowThreshold {
+		for i := range pred {
+			pred[i] += lr * t.Predict(x[i])
+		}
+		return
+	}
+	par.ForEach(context.Background(), len(pred), 0, func(i int) error {
+		pred[i] += lr * t.Predict(x[i])
+		return nil
+	})
 }
 
 // PredictValue implements ml.Regressor.
@@ -153,8 +177,6 @@ func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 	for i := range scores {
 		scores[i] = append([]float64(nil), g.prior...)
 	}
-	grad := make([]float64, n)
-	hess := make([]float64, n)
 	g.trees = g.trees[:0]
 	kf := float64(numClasses-1) / float64(numClasses)
 
@@ -165,7 +187,13 @@ func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 			probs[i] = softmax(scores[i])
 		}
 		idx := sampleRows(n, g.cfg.Subsample, rng)
-		for k := 0; k < numClasses; k++ {
+		// Per-class trees fit in parallel: grad/hess derive from the
+		// round-start probs snapshot, each class owns its buffers and its
+		// roundTrees slot, and the score update touches only column k, so
+		// the fitted ensemble is identical to the serial class loop.
+		if err := par.ForEach(context.Background(), numClasses, 0, func(k int) error {
+			grad := make([]float64, n)
+			hess := make([]float64, n)
 			for i := range x {
 				yk := 0.0
 				if y[i] == k {
@@ -183,6 +211,13 @@ func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 			for i := range scores {
 				scores[i][k] += g.cfg.LearningRate * t.Predict(x[i])
 			}
+			return nil
+		}); err != nil {
+			var errs par.Errors
+			if errors.As(err, &errs) {
+				return errs.First()
+			}
+			return err
 		}
 		g.trees = append(g.trees, roundTrees)
 	}

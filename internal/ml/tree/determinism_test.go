@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"stencilmart/internal/testutil"
+)
+
+// synthClassData builds a deterministic multiclass dataset with enough
+// rows to exercise the parallel row-update path.
+func synthClassData(rows, cols, classes int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(99))
+	x := make([][]float64, rows)
+	y := make([]int, rows)
+	for i := range x {
+		x[i] = make([]float64, cols)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = int(math.Abs(x[i][0]+x[i][1])*3) % classes
+	}
+	return x, y
+}
+
+// fitGBDT trains one classifier and snapshots its probability outputs.
+func fitGBDT(t *testing.T, x [][]float64, y []int, classes int) [][]float64 {
+	t.Helper()
+	g := NewGBDT(BoostConfig{Rounds: 15, Seed: 4})
+	if err := g.FitClassifier(x, y, classes); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, len(x))
+	for i := range x {
+		out[i] = g.PredictProba(x[i])
+	}
+	return out
+}
+
+// TestGBDTDeterministicUnderGOMAXPROCS is the differential check for the
+// parallel per-class boosting: the fitted ensemble's probabilities must be
+// bit-identical whether training ran on one proc or all of them.
+func TestGBDTDeterministicUnderGOMAXPROCS(t *testing.T) {
+	const classes = 5
+	x, y := synthClassData(400, 6, classes)
+	var serial, parallel [][]float64
+	testutil.WithGOMAXPROCS(t, 1, func() { serial = fitGBDT(t, x, y, classes) })
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { parallel = fitGBDT(t, x, y, classes) })
+	for i := range serial {
+		for k := range serial[i] {
+			if math.Float64bits(serial[i][k]) != math.Float64bits(parallel[i][k]) {
+				t.Fatalf("row %d class %d: serial proba %v != parallel %v", i, k, serial[i][k], parallel[i][k])
+			}
+		}
+	}
+}
+
+// TestGBRegressorDeterministicUnderGOMAXPROCS does the same for the
+// regressor's parallel prediction updates (rows > parRowThreshold).
+func TestGBRegressorDeterministicUnderGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := parRowThreshold * 2
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = x[i][0]*2 - x[i][1] + 0.1*rng.NormFloat64()
+	}
+	fit := func() []float64 {
+		g := NewGBRegressor(BoostConfig{Rounds: 20, Seed: 9})
+		if err := g.FitRegressor(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, rows)
+		for i := range x {
+			out[i] = g.PredictValue(x[i])
+		}
+		return out
+	}
+	var serial, parallel []float64
+	testutil.WithGOMAXPROCS(t, 1, func() { serial = fit() })
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { parallel = fit() })
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("row %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}

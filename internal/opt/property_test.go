@@ -1,0 +1,96 @@
+package opt
+
+import "testing"
+
+// constraintsHold re-states the Table I rules independently of Valid so
+// the property test cannot share a bug with the implementation: BM and CM
+// are mutually exclusive, and RT and PR each require ST.
+func constraintsHold(o Opt) bool {
+	bm, cm := o&BM != 0, o&CM != 0
+	st, rt, pr := o&ST != 0, o&RT != 0, o&PR != 0
+	if bm && cm {
+		return false
+	}
+	if (rt || pr) && !st {
+		return false
+	}
+	return true
+}
+
+// TestCombinationsExactlyTheValidMasks walks the entire 6-flag universe:
+// every constraint-satisfying mask appears in Combinations exactly once,
+// in ascending order, and no violating mask appears at all.
+func TestCombinationsExactlyTheValidMasks(t *testing.T) {
+	combos := Combinations()
+	if len(combos) != NumCombinations {
+		t.Fatalf("Combinations returned %d OCs, NumCombinations says %d", len(combos), NumCombinations)
+	}
+	inCombos := map[Opt]int{}
+	for _, oc := range combos {
+		inCombos[oc]++
+	}
+	validCount := 0
+	for mask := Opt(0); mask < 1<<6; mask++ {
+		want := constraintsHold(mask)
+		if got := mask.Valid(); got != want {
+			t.Errorf("%s: Valid()=%v, independent constraints say %v", mask, got, want)
+		}
+		if want {
+			validCount++
+			if inCombos[mask] != 1 {
+				t.Errorf("%s: appears %d times in Combinations, want exactly once", mask, inCombos[mask])
+			}
+			if (mask.ValidationError() == nil) != want {
+				t.Errorf("%s: ValidationError disagrees with constraints", mask)
+			}
+		} else {
+			if inCombos[mask] != 0 {
+				t.Errorf("%s: invalid mask present in Combinations", mask)
+			}
+			if mask.ValidationError() == nil {
+				t.Errorf("%s: invalid mask has nil ValidationError", mask)
+			}
+		}
+	}
+	if validCount != NumCombinations {
+		t.Fatalf("universe holds %d valid masks, NumCombinations says %d", validCount, NumCombinations)
+	}
+	for i := 1; i < len(combos); i++ {
+		if combos[i-1] >= combos[i] {
+			t.Fatalf("Combinations not in ascending order at %d: %s >= %s", i, combos[i-1], combos[i])
+		}
+	}
+}
+
+// TestIndexRoundTrip checks Index against Combinations over the whole
+// universe: valid masks round-trip to their position, invalid ones map
+// to -1.
+func TestIndexRoundTrip(t *testing.T) {
+	combos := Combinations()
+	for i, oc := range combos {
+		if got := Index(oc); got != i {
+			t.Errorf("Index(%s)=%d, want %d", oc, got, i)
+		}
+	}
+	for mask := Opt(0); mask < 1<<6; mask++ {
+		if !constraintsHold(mask) {
+			if got := Index(mask); got != -1 {
+				t.Errorf("Index(%s)=%d for invalid mask, want -1", mask, got)
+			}
+		}
+	}
+}
+
+// TestParseStringRoundTrip checks that every valid OC's rendered name
+// parses back to the same mask.
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, oc := range Combinations() {
+		back, err := Parse(oc.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", oc.String(), err)
+		}
+		if back != oc {
+			t.Fatalf("Parse(%q)=%s, want %s", oc.String(), back, oc)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, jobs, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 2, 2},
+		{4, 100, 4},
+		{1, 0, 1},
+		{0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.jobs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+		}
+	}
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := Map(context.Background(), 100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map over 0 jobs = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 257
+		var counts [n]int32
+		if err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestErrorAggregationDeterministic(t *testing.T) {
+	fail := map[int]bool{3: true, 41: true, 7: true}
+	var want error
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), 50, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		var errs Errors
+		if !errors.As(err, &errs) {
+			t.Fatalf("workers=%d: error type %T", workers, err)
+		}
+		if len(errs) != len(fail) {
+			t.Fatalf("workers=%d: %d errors, want %d", workers, len(errs), len(fail))
+		}
+		for k := 1; k < len(errs); k++ {
+			if errs[k-1].Index >= errs[k].Index {
+				t.Fatalf("workers=%d: errors not index-sorted: %v", workers, errs)
+			}
+		}
+		if errs.First().Error() != "boom 3" {
+			t.Fatalf("workers=%d: First() = %v, want boom 3", workers, errs.First())
+		}
+		if want == nil {
+			want = err
+		} else if err.Error() != want.Error() {
+			t.Fatalf("workers=%d: aggregate %q differs from %q", workers, err, want)
+		}
+	}
+}
+
+func TestForEachAllJobsRunDespiteErrors(t *testing.T) {
+	var ran int32
+	err := ForEach(context.Background(), 20, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i%2 == 0 {
+			return errors.New("even")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregate error")
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d jobs, want 20 (errors must not abort remaining work)", ran)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	err := ForEach(ctx, 1000, 2, func(i int) error {
+		if atomic.AddInt32(&started, 1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&started); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (%d jobs started)", n)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEach(ctx, 10, 4, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("job ran despite pre-cancelled context")
+	}
+}
+
+func TestIndexedErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := ForEach(context.Background(), 5, 2, func(i int) error {
+		if i == 2 {
+			return fmt.Errorf("wrapped: %w", sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is failed to find sentinel through %v", err)
+	}
+}

@@ -114,6 +114,7 @@ func (d *Dataset) Validate() error {
 	if len(d.Profiles) != len(d.Archs) {
 		return fmt.Errorf("profile: %d profile rows for %d archs", len(d.Profiles), len(d.Archs))
 	}
+	combos := opt.Combinations()
 	for ai, row := range d.Profiles {
 		if len(row) != len(d.Stencils) {
 			return fmt.Errorf("profile: arch %s has %d profiles for %d stencils",
@@ -126,16 +127,39 @@ func (d *Dataset) Validate() error {
 			if len(p.Results) != opt.NumCombinations {
 				return fmt.Errorf("profile: arch %s stencil %d has %d OC results", d.Archs[ai].Name, si, len(p.Results))
 			}
+			// Results must follow the canonical OC order: downstream code
+			// indexes Results[ci] by position in opt.Combinations.
+			for ci, res := range p.Results {
+				if res.OC != combos[ci] {
+					return fmt.Errorf("profile: arch %s stencil %d result %d holds OC %s, want %s",
+						d.Archs[ai].Name, si, ci, res.OC, combos[ci])
+				}
+				if !res.Crashed && (res.Time <= 0 || math.IsNaN(res.Time)) {
+					return fmt.Errorf("profile: arch %s stencil %d OC %s has non-positive time", d.Archs[ai].Name, si, res.OC)
+				}
+			}
 			if !p.BestOC.Valid() || p.BestTime <= 0 || math.IsNaN(p.BestTime) {
 				return fmt.Errorf("profile: arch %s stencil %d has invalid best OC/time", d.Archs[ai].Name, si)
 			}
 		}
 	}
+	archNames := make(map[string]bool, len(d.Archs))
+	for _, a := range d.Archs {
+		archNames[a.Name] = true
+	}
 	for i, in := range d.Instances {
 		if in.StencilIdx < 0 || in.StencilIdx >= len(d.Stencils) {
 			return fmt.Errorf("profile: instance %d references stencil %d", i, in.StencilIdx)
 		}
-		if in.Time <= 0 {
+		if !archNames[in.Arch] {
+			return fmt.Errorf("profile: instance %d references unknown arch %q", i, in.Arch)
+		}
+		// An invalid OC would index opt.Combinations at -1 downstream
+		// (MedianTimeMatrix); reject it here instead of panicking there.
+		if !in.OC.Valid() {
+			return fmt.Errorf("profile: instance %d has invalid OC %#x", i, int(in.OC))
+		}
+		if in.Time <= 0 || math.IsNaN(in.Time) || math.IsInf(in.Time, 0) {
 			return fmt.Errorf("profile: instance %d has non-positive time", i)
 		}
 	}

@@ -1,0 +1,60 @@
+package profile_test
+
+import (
+	"bytes"
+	"testing"
+
+	"stencilmart/internal/profile"
+	"stencilmart/internal/testutil"
+)
+
+// validDatasetBytes builds a real collected dataset to seed the fuzzer
+// with a structurally correct input.
+func validDatasetBytes(t testing.TB) []byte {
+	t.Helper()
+	p := profile.NewProfiler(2, testutil.CorpusSeed+1)
+	corpus := testutil.SmallCorpus(t)
+	d, err := p.Collect(corpus[:3], testutil.AllArchs(t)[:1])
+	if err != nil {
+		t.Fatalf("seed dataset: %v", err)
+	}
+	return testutil.DatasetJSON(t, d)
+}
+
+// FuzzDatasetRoundTrip feeds arbitrary bytes through ReadJSON. Malformed
+// data must produce an error — never a panic — and anything that decodes
+// must survive a WriteJSON → ReadJSON round trip byte-identically.
+func FuzzDatasetRoundTrip(f *testing.F) {
+	f.Add(validDatasetBytes(f))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"stencils":[],"archs":[],"profiles":[],"instances":[]}`))
+	f.Add([]byte(`{"stencils":[{"name":"x","dims":2,"points":[0,0,0]}],"archs":["V100"]}`))
+	f.Add([]byte(`{"archs":["NoSuchGPU"]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"profiles":[[{"results":[{"oc":999}]}]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := profile.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		// Accepted datasets must satisfy their own invariants...
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted a dataset its own Validate rejects: %v", err)
+		}
+		// ...and round-trip losslessly.
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON on accepted dataset: %v", err)
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+		d2, err := profile.ReadJSON(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-read of written dataset: %v", err)
+		}
+		buf.Reset()
+		if err := d2.WriteJSON(&buf); err != nil {
+			t.Fatalf("second WriteJSON: %v", err)
+		}
+		testutil.AssertSameBytes(t, "dataset round trip", first, buf.Bytes())
+	})
+}

@@ -7,15 +7,17 @@
 package profile
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
+	"stencilmart/internal/par"
 	"stencilmart/internal/sim"
 	"stencilmart/internal/stencil"
 )
@@ -107,6 +109,11 @@ type Profiler struct {
 	Seed int64
 	// Workers bounds the profiling goroutines; 0 uses GOMAXPROCS.
 	Workers int
+
+	// modelMu guards the lazy Model initialization: ProfileOne may be
+	// called concurrently from Collect's worker pool (or by users), and
+	// an unguarded nil-check-then-assign on Model is a data race.
+	modelMu sync.Mutex
 }
 
 // NewProfiler returns a profiler with the given search budget and seed.
@@ -115,6 +122,8 @@ func NewProfiler(samplesPerOC int, seed int64) *Profiler {
 }
 
 func (p *Profiler) model() *sim.Model {
+	p.modelMu.Lock()
+	defer p.modelMu.Unlock()
 	if p.Model == nil {
 		p.Model = sim.New()
 	}
@@ -170,11 +179,16 @@ func (p *Profiler) ProfileOne(stencilIdx int, s stencil.Stencil, arch gpu.Arch) 
 }
 
 // Collect profiles the full corpus on every architecture, in parallel
-// across (stencil, architecture) cells, and assembles the dataset.
+// across (stencil, architecture) cells on the shared par worker pool,
+// and assembles the dataset. Each cell derives its own rng from Seed and
+// results are collected in cell-index order, so the dataset is
+// byte-identical for any worker count (the serial reference is
+// Workers == 1) — the property the differential suite enforces.
 func (p *Profiler) Collect(stencils []stencil.Stencil, archs []gpu.Arch) (*Dataset, error) {
 	if len(stencils) == 0 || len(archs) == 0 {
 		return nil, fmt.Errorf("profile: empty corpus (%d stencils, %d archs)", len(stencils), len(archs))
 	}
+	p.model() // resolve the lazy model before workers race to do it
 	d := &Dataset{Stencils: stencils}
 	for _, a := range archs {
 		d.Archs = append(d.Archs, a)
@@ -183,51 +197,30 @@ func (p *Profiler) Collect(stencils []stencil.Stencil, archs []gpu.Arch) (*Datas
 	for ai := range archs {
 		d.Profiles[ai] = make([]Profile, len(stencils))
 	}
-	instancesPer := make([][]Instance, len(archs)*len(stencils))
 
-	type job struct{ ai, si int }
-	jobs := make(chan job, len(archs)*len(stencils))
-	for ai := range archs {
-		for si := range stencils {
-			jobs <- job{ai, si}
+	type cell struct {
+		prof Profile
+		inst []Instance
+	}
+	nS := len(stencils)
+	cells, err := par.Map(context.Background(), len(archs)*nS, p.Workers, func(i int) (cell, error) {
+		prof, inst, err := p.ProfileOne(i%nS, stencils[i%nS], archs[i/nS])
+		if err != nil {
+			return cell{}, err
 		}
+		return cell{prof: prof, inst: inst}, nil
+	})
+	if err != nil {
+		var errs par.Errors
+		if errors.As(err, &errs) {
+			// The serial loop would have surfaced the lowest-index failure.
+			return nil, errs.First()
+		}
+		return nil, err
 	}
-	close(jobs)
-
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	wg.Add(workers)
-	for wk := 0; wk < workers; wk++ {
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				prof, inst, err := p.ProfileOne(j.si, stencils[j.si], archs[j.ai])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				d.Profiles[j.ai][j.si] = prof
-				instancesPer[j.ai*len(stencils)+j.si] = inst
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for _, inst := range instancesPer {
-		d.Instances = append(d.Instances, inst...)
+	for i, c := range cells {
+		d.Profiles[i/nS][i%nS] = c.prof
+		d.Instances = append(d.Instances, c.inst...)
 	}
 	return d, nil
 }

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+)
+
+// The model is a deterministic oracle: the same canonical
+// (stencil pattern, workload extents, OC, params, arch) cell always
+// prices to the same Result (or the same crash). Profiling, the
+// baselines and the tuners keep re-evaluating identical cells — random
+// parameter search over small power-of-two spaces collides constantly,
+// and the equal-budget comparisons re-price the very points profiling
+// already visited — so Model.Run memoizes evaluations in a sharded,
+// size-bounded cache. Sharding keeps concurrent profiling workers off a
+// single lock; the bound keeps memory flat under corpus-scale sweeps.
+//
+// Caching is invisible to results by construction (values are exact
+// first-computation bits and the model is deterministic), so eviction
+// policy only affects the hit rate, never any dataset, label or
+// prediction.
+
+// DefaultCacheEntries is the total entry bound of a Model's cache.
+const DefaultCacheEntries = 1 << 16
+
+// cacheShards is the shard count; a power of two so the hash maps to a
+// shard with a mask.
+const cacheShards = 64
+
+// CacheStats is a snapshot of a model cache's counters.
+type CacheStats struct {
+	// Hits and Misses count lookups since the cache was created.
+	Hits, Misses uint64
+	// Evictions counts entries dropped to respect the size bound.
+	Evictions uint64
+	// Entries is the current number of cached evaluations.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheEntry is one memoized evaluation: the result, or the error the
+// cell deterministically fails with.
+type cacheEntry struct {
+	res Result
+	err error
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+// runCache is the sharded, size-bounded memoization table.
+type runCache struct {
+	perShard               int
+	hits, misses, evictRun atomic.Uint64
+	shards                 [cacheShards]cacheShard
+}
+
+func newRunCache(capacity int) *runCache {
+	if capacity < 1 {
+		capacity = DefaultCacheEntries
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &runCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+func (c *runCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&(cacheShards-1)]
+}
+
+func (c *runCache) get(key string) (cacheEntry, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *runCache) put(key string, e cacheEntry) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, ok := s.m[key]; !ok {
+		if len(s.m) >= c.perShard {
+			// Evict an arbitrary entry (map iteration order). Values are
+			// deterministic functions of their keys, so eviction choice
+			// affects only the hit rate — never a computed result.
+			for k := range s.m {
+				delete(s.m, k)
+				c.evictRun.Add(1)
+				break
+			}
+		}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+}
+
+func (c *runCache) stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictRun.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// archKeys caches the per-architecture key segment: gpu.Arch is a
+// comparable value struct, so identical specs share one digest and a
+// user-modified Arch (even one reusing a catalog name) keys separately.
+var archKeys sync.Map // gpu.Arch -> string
+
+func archKey(a gpu.Arch) string {
+	if v, ok := archKeys.Load(a); ok {
+		return v.(string)
+	}
+	b := make([]byte, 0, len(a.Name)+len(a.Generation)+2+11*8)
+	b = append(b, a.Name...)
+	b = append(b, 0)
+	b = append(b, a.Generation...)
+	b = append(b, 0)
+	for _, f := range []float64{
+		a.MemGB, a.MemBWGBs, float64(a.SMs), a.TFLOPS, a.RentalPerHour,
+		float64(a.RegsPerSM), float64(a.SmemPerSMKB), float64(a.MaxThreadsPerSM),
+		float64(a.MaxRegsPerThread), a.L2MB, a.ClockGHz,
+	} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		b = append(b, buf[:]...)
+	}
+	k := string(b)
+	archKeys.Store(a, k)
+	return k
+}
+
+// runKey canonicalizes one evaluation cell. Unlike the noise paramsKey
+// (whose byte truncation only perturbs noise), every field here is
+// encoded collision-free: a key collision would return a wrong result.
+func runKey(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) string {
+	ak := archKey(arch)
+	b := make([]byte, 0, 1+3*len(w.S.Points)+4*4+1+2*10+1+len(ak))
+	b = append(b, patternKey(w.S)...)
+	var u [4]byte
+	for _, v := range [...]int{w.GridX, w.GridY, w.GridZ, w.TimeSteps} {
+		binary.LittleEndian.PutUint32(u[:], uint32(v))
+		b = append(b, u[:]...)
+	}
+	b = append(b, byte(oc))
+	for _, v := range [...]int{p.BlockX, p.BlockY, p.Merge, p.MergeDim,
+		p.StreamTile, p.StreamDim, p.Unroll, p.TBDepth, p.PrefetchDepth} {
+		b = append(b, byte(v), byte(v>>8))
+	}
+	if p.UseSmem {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, ak...)
+	return string(b)
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+func cacheArch(t *testing.T) gpu.Arch {
+	t.Helper()
+	a, err := gpu.ByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCacheHitReturnsIdenticalResult(t *testing.T) {
+	m := New()
+	arch := cacheArch(t)
+	s := stencil.Star(2, 2)
+	w := DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(7))
+	for _, oc := range opt.Combinations() {
+		p := opt.Sample(oc, s.Dims, rng)
+		r1, err1 := m.Run(w, oc, p, arch)
+		r2, err2 := m.Run(w, oc, p, arch)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: cached error disagreement: %v vs %v", oc, err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("%s: cached error %q != %q", oc, err2, err1)
+			}
+			continue
+		}
+		if r1 != r2 {
+			t.Fatalf("%s: cached result differs: %+v vs %+v", oc, r2, r1)
+		}
+	}
+	st := m.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+}
+
+func TestCacheMatchesUncachedModel(t *testing.T) {
+	cached := New()
+	plain := New()
+	plain.DisableCache()
+	arch := cacheArch(t)
+	s := stencil.Box(3, 2)
+	w := DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(11))
+	for _, oc := range opt.Combinations() {
+		for k := 0; k < 4; k++ {
+			p := opt.Sample(oc, s.Dims, rng)
+			rc, errC := cached.Run(w, oc, p, arch)
+			ru, errU := plain.Run(w, oc, p, arch)
+			if (errC == nil) != (errU == nil) {
+				t.Fatalf("%s %+v: error disagreement: %v vs %v", oc, p, errC, errU)
+			}
+			if errC == nil && rc != ru {
+				t.Fatalf("%s %+v: cached %+v != uncached %+v", oc, p, rc, ru)
+			}
+		}
+	}
+	if st := plain.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache reported stats %+v", st)
+	}
+}
+
+func TestCacheMemoizesCrashes(t *testing.T) {
+	m := New()
+	arch := cacheArch(t)
+	// TB without ST on a high-order 3-D stencil is the documented crash
+	// condition; search until one errors, then confirm the cached replay.
+	s := stencil.Box(3, 4)
+	w := DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 64; k++ {
+		p := opt.Sample(opt.TB, s.Dims, rng)
+		_, err := m.Run(w, opt.TB, p, arch)
+		if err == nil {
+			continue
+		}
+		_, err2 := m.Run(w, opt.TB, p, arch)
+		if err2 == nil || err2.Error() != err.Error() {
+			t.Fatalf("cached crash replay: %v vs %v", err2, err)
+		}
+		if !errors.Is(err2, ErrCrash) && !errors.Is(err2, ErrInvalidConfig) {
+			t.Fatalf("cached crash lost its sentinel: %v", err2)
+		}
+		return
+	}
+	t.Skip("no crashing setting found in 64 samples")
+}
+
+func TestCacheSizeBound(t *testing.T) {
+	m := New()
+	m.EnableCache(cacheShards) // one entry per shard
+	arch := cacheArch(t)
+	rng := rand.New(rand.NewSource(5))
+	s := stencil.Star(2, 1)
+	w := DefaultWorkload(s)
+	for k := 0; k < 500; k++ {
+		p := opt.Sample(opt.ST, s.Dims, rng)
+		w2 := w
+		w2.TimeSteps = 1 + k // unique cell per iteration
+		if _, err := m.Run(w2, opt.ST, p, arch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.CacheStats()
+	if st.Entries > cacheShards {
+		t.Fatalf("cache grew to %d entries, bound %d", st.Entries, cacheShards)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under pressure, got %+v", st)
+	}
+}
+
+func TestRunKeyDistinguishesParams(t *testing.T) {
+	arch := cacheArch(t)
+	s := stencil.Star(2, 1)
+	w := DefaultWorkload(s)
+	// BlockX 256 and 512 truncate to the same byte; the cache key must
+	// keep them distinct (the noise paramsKey may not — that only
+	// perturbs noise, while a cache collision would corrupt results).
+	a := opt.Params{BlockX: 256, BlockY: 4, Merge: 1, Unroll: 1}
+	b := opt.Params{BlockX: 512, BlockY: 2, Merge: 1, Unroll: 1}
+	if runKey(w, 0, a, arch) == runKey(w, 0, b, arch) {
+		t.Fatal("runKey collision between distinct params")
+	}
+	w2 := w
+	w2.GridX++
+	if runKey(w, 0, a, arch) == runKey(w2, 0, a, arch) {
+		t.Fatal("runKey ignores workload extents")
+	}
+	arch2 := arch
+	arch2.MemBWGBs *= 2
+	if runKey(w, 0, a, arch) == runKey(w, 0, a, arch2) {
+		t.Fatal("runKey ignores architecture constants")
+	}
+}

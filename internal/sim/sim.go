@@ -103,17 +103,41 @@ type Result struct {
 }
 
 // Model evaluates workloads on simulated architectures. The zero value is
-// not usable; construct with New.
+// not usable; construct with New. Models are safe for concurrent use:
+// the memoization cache is sharded and the noise tables are lock-free.
 type Model struct {
 	noise NoiseConfig
+	cache *runCache
 }
 
-// New returns a model with the default noise configuration.
-func New() *Model { return &Model{noise: DefaultNoise()} }
+// New returns a model with the default noise configuration and a
+// memoization cache of DefaultCacheEntries evaluations.
+func New() *Model {
+	return &Model{noise: DefaultNoise(), cache: newRunCache(DefaultCacheEntries)}
+}
 
 // NewWithNoise returns a model with a custom noise configuration; used by
 // the noise-ablation benchmarks.
-func NewWithNoise(n NoiseConfig) *Model { return &Model{noise: n} }
+func NewWithNoise(n NoiseConfig) *Model {
+	return &Model{noise: n, cache: newRunCache(DefaultCacheEntries)}
+}
+
+// EnableCache (re)installs a memoization cache bounded to roughly
+// capacity entries, resetting the previous contents and counters.
+// capacity < 1 selects DefaultCacheEntries.
+func (m *Model) EnableCache(capacity int) { m.cache = newRunCache(capacity) }
+
+// DisableCache removes the memoization cache; every Run recomputes.
+func (m *Model) DisableCache() { m.cache = nil }
+
+// CacheStats returns a snapshot of the memoization counters; the zero
+// CacheStats when the cache is disabled.
+func (m *Model) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.stats()
+}
 
 // Run simulates the workload under the OC and parameter setting on the
 // architecture. It returns ErrCrash or ErrInvalidConfig (wrapped) when the
@@ -129,8 +153,21 @@ func (m *Model) Run(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (Result
 		return Result{}, err
 	}
 
+	var key string
+	if m.cache != nil {
+		key = runKey(w, oc, p, arch)
+		if e, ok := m.cache.get(key); ok {
+			return e.res, e.err
+		}
+	}
+
 	res := resourceUsage(w, oc, p, arch)
 	if err := res.check(arch, w, oc, p); err != nil {
+		// Crashes are deterministic per cell and re-sampled constantly by
+		// equal-budget searches, so they are worth memoizing too.
+		if m.cache != nil {
+			m.cache.put(key, cacheEntry{err: err})
+		}
 		return Result{}, err
 	}
 
@@ -149,6 +186,9 @@ func (m *Model) Run(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (Result
 	}
 	base := t.compute + t.memory + t.sync + t.launch
 	r.Time = base * m.noise.factor(w.S, oc, p, arch)
+	if m.cache != nil {
+		m.cache.put(key, cacheEntry{res: r})
+	}
 	return r, nil
 }
 

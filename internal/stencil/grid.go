@@ -1,9 +1,10 @@
 package stencil
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"stencilmart/internal/par"
 )
 
 // Grid is a dense row-major float64 grid used by the reference CPU
@@ -83,8 +84,9 @@ func Apply(s Stencil, coeffs Coefficients, in, out *Grid) error {
 	return nil
 }
 
-// ApplyParallel runs one time step of the stencil, splitting interior rows
-// across GOMAXPROCS goroutines. It computes identical results to Apply.
+// ApplyParallel runs one time step of the stencil, splitting interior
+// z-planes across the par worker pool. Each plane writes a disjoint slice
+// of out, so it computes identical results to Apply.
 func ApplyParallel(s Stencil, coeffs Coefficients, in, out *Grid) error {
 	if err := checkApply(s, coeffs, in, out); err != nil {
 		return err
@@ -92,32 +94,10 @@ func ApplyParallel(s Stencil, coeffs Coefficients, in, out *Grid) error {
 	copy(out.Data, in.Data)
 	r := s.Order()
 	z0, z1 := bounds(s.Dims, r, in.Nz)
-
-	type span struct{ z int }
-	work := make(chan span, z1-z0)
-	for z := z0; z < z1; z++ {
-		work <- span{z}
-	}
-	close(work)
-
-	workers := runtime.GOMAXPROCS(0)
-	if n := z1 - z0; workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for sp := range work {
-				applyPlane(s, coeffs, in, out, sp.z, r)
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEach(context.Background(), z1-z0, 0, func(i int) error {
+		applyPlane(s, coeffs, in, out, z0+i, r)
+		return nil
+	})
 	return nil
 }
 

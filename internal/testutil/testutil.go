@@ -1,0 +1,98 @@
+// Package testutil holds the shared fixtures and assertion helpers of
+// the differential determinism suite: seeded corpora, byte-level dataset
+// golden comparisons, and GOMAXPROCS manipulation. Tests that compare a
+// parallel path against its serial reference build both inputs here so
+// every package checks the same property the same way.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/stencil"
+)
+
+// CorpusSeed is the fixed seed for the differential-suite corpus, chosen
+// once so goldens stay comparable across tests and packages.
+const CorpusSeed = 424242
+
+// SmallCorpus returns the suite's deterministic 12-stencil corpus
+// (6 two-dimensional + 6 three-dimensional, orders up to 3).
+func SmallCorpus(t testing.TB) []stencil.Stencil {
+	t.Helper()
+	corpus, err := gen.MixedCorpus(6, 6, 3, CorpusSeed)
+	if err != nil {
+		t.Fatalf("testutil: corpus generation: %v", err)
+	}
+	return corpus
+}
+
+// AllArchs returns the full Table III architecture catalog.
+func AllArchs(t testing.TB) []gpu.Arch {
+	t.Helper()
+	archs := gpu.Catalog()
+	if len(archs) == 0 {
+		t.Fatal("testutil: empty GPU catalog")
+	}
+	return archs
+}
+
+// DatasetJSON serializes a dataset to its canonical JSON bytes. Two
+// datasets are considered identical exactly when these bytes match.
+func DatasetJSON(t testing.TB, d *profile.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("testutil: dataset serialization: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// AssertSameBytes fails the test when two byte strings differ, reporting
+// the first divergence with surrounding context rather than dumping both.
+func AssertSameBytes(t testing.TB, label string, want, got []byte) {
+	t.Helper()
+	if bytes.Equal(want, got) {
+		return
+	}
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			at = i
+			break
+		}
+	}
+	lo := at - 40
+	if lo < 0 {
+		lo = 0
+	}
+	snip := func(b []byte) string {
+		hi := at + 40
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo >= len(b) {
+			return ""
+		}
+		return string(b[lo:hi])
+	}
+	t.Fatalf("%s: outputs differ at byte %d (want %d bytes, got %d)\nwant ...%s...\ngot  ...%s...",
+		label, at, len(want), len(got), snip(want), snip(got))
+}
+
+// WithGOMAXPROCS runs fn with the given GOMAXPROCS, restoring the prior
+// value afterwards even if fn fails the test.
+func WithGOMAXPROCS(t testing.TB, n int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the full verification gate: build, vet, the regular test
+# suite, and the race-detector run that guards the parallel pipeline's
+# determinism contract. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"
