@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz
+.PHONY: build test vet race check bench bench-kernels fuzz
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,9 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+bench-kernels:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/linalg/ ./internal/ml/nn/
 
 fuzz:
 	$(GO) test ./internal/profile/ -fuzz FuzzDatasetRoundTrip -fuzztime 30s

@@ -145,9 +145,10 @@ func (f *Framework) ClassifierAccuracy(kind ClassifierKind, archName string, dim
 			return 0, err
 		}
 		truth := f.classLabels(archIdx, testIdx)
+		probas := ml.PredictProbaAll(cls, encodeAll(enc, testIdx))
 		pred := make([]int, len(testIdx))
-		for i, si := range testIdx {
-			pred[i] = cls.PredictClass(enc(si))
+		for i := range testIdx {
+			pred[i] = ml.ArgMax(probas[i])
 		}
 		return stats.Accuracy(truth, pred)
 	})
@@ -157,13 +158,23 @@ func (f *Framework) ClassifierAccuracy(kind ClassifierKind, archName string, dim
 	return stats.Mean(accs), nil
 }
 
+// encodeAll encodes every corpus index into a row set, the unit the
+// batched predictors consume.
+func encodeAll(enc func(int) []float64, indices []int) [][]float64 {
+	rows := make([][]float64, len(indices))
+	for i, si := range indices {
+		rows[i] = enc(si)
+	}
+	return rows
+}
+
 // predictedTime returns the execution time StencilMART achieves for a
 // test stencil: the profiled best time of the representative OC of the
-// predicted class (the same SamplesPerOC search budget as the baselines).
-// If that OC crashed for the stencil, lower-probability classes are tried
-// in order; math.Inf(1) is returned only if every class crashes.
-func (f *Framework) predictedTime(cls ml.Classifier, enc func(int) []float64, archIdx, si int) float64 {
-	proba := cls.PredictProba(enc(si))
+// class predicted by proba (the same SamplesPerOC search budget as the
+// baselines). If that OC crashed for the stencil, lower-probability
+// classes are tried in order; math.Inf(1) is returned only if every
+// class crashes.
+func (f *Framework) predictedTime(proba []float64, archIdx, si int) float64 {
 	for _, class := range classOrder(proba) {
 		ocIdx := f.Grouping.Reps[class]
 		res := f.Dataset.Profiles[archIdx][si].Results[ocIdx]
@@ -222,8 +233,8 @@ func (f *Framework) contextReps(archIdx int, trainIdx []int, perClass int) [][]o
 // the most probable class (2:1) and the runner-up class's best member
 // (hedging against mispredictions exactly as Artemis hedges across its
 // candidate extensions). The total budget matches the baselines'.
-func (f *Framework) searchPredicted(cls ml.Classifier, enc func(int) []float64, archIdx, si int, arch gpu.Arch, reps [][]opt.Opt) float64 {
-	order := classOrder(cls.PredictProba(enc(si)))
+func (f *Framework) searchPredicted(proba []float64, archIdx, si int, arch gpu.Arch, reps [][]opt.Opt) float64 {
+	order := classOrder(proba)
 	budget := f.Cfg.SamplesPerOC
 
 	var ocs []opt.Opt
@@ -293,14 +304,16 @@ func (f *Framework) SpeedupVsBaseline(kind ClassifierKind, archName string, dims
 			return nil, err
 		}
 		reps := f.contextReps(archIdx, trainIdx, 2)
+		// One batched forward scores the whole held-out fold before tuning.
+		probas := ml.PredictProbaAll(cls, encodeAll(enc, testIdx))
 		var ratios []float64
-		for _, si := range testIdx {
+		for ti, si := range testIdx {
 			w := sim.DefaultWorkload(f.Dataset.Stencils[si])
 			base, err := strat.Tune(f.Model, w, arch, f.Cfg.SamplesPerOC, f.Cfg.Seed+int64(si))
 			if err != nil {
 				continue // baseline has no runnable configuration
 			}
-			mine := f.searchPredicted(cls, enc, archIdx, si, arch, reps)
+			mine := f.searchPredicted(probas[ti], archIdx, si, arch, reps)
 			if math.IsInf(mine, 1) {
 				continue
 			}

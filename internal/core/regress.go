@@ -134,16 +134,33 @@ func (f *Framework) TrainRegressor(kind RegressorKind, dims int, instances []pro
 
 // PredictSeconds predicts the execution time of an instance in seconds.
 func (t *TrainedRegressor) PredictSeconds(in profile.Instance) (float64, error) {
-	row, err := t.f.instanceRow(in, t.kind.usesTensor())
+	out, err := t.PredictSecondsBatch([]profile.Instance{in})
 	if err != nil {
 		return 0, err
 	}
-	row = t.xScale.apply(row)
-	v := t.model.PredictValue(row)
-	if t.kind.usesScaling() {
-		v = t.yScale.invert(v)
+	return out[0], nil
+}
+
+// PredictSecondsBatch predicts execution times for many instances at
+// once, encoding all rows up front so batch-capable models (the nn
+// regressors) score the whole set in a single forward pass.
+func (t *TrainedRegressor) PredictSecondsBatch(ins []profile.Instance) ([]float64, error) {
+	rows := make([][]float64, len(ins))
+	for i, in := range ins {
+		row, err := t.f.instanceRow(in, t.kind.usesTensor())
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = t.xScale.apply(row)
 	}
-	return regInvert(v), nil
+	vals := ml.PredictValueAll(t.model, rows)
+	for i, v := range vals {
+		if t.kind.usesScaling() {
+			v = t.yScale.invert(v)
+		}
+		vals[i] = regInvert(v)
+	}
+	return vals, nil
 }
 
 // RegressorMAPE runs the k-fold protocol for one mechanism over the
@@ -176,16 +193,18 @@ func (f *Framework) RegressorMAPE(kind RegressorKind, dims int) (map[string]floa
 		if err != nil {
 			return foldPreds{}, err
 		}
-		fp := foldPreds{}
-		for _, p := range testPos {
-			in := instances[p]
-			pred, err := tr.PredictSeconds(in)
-			if err != nil {
-				return foldPreds{}, err
-			}
+		test := make([]profile.Instance, len(testPos))
+		for i, p := range testPos {
+			test[i] = instances[p]
+		}
+		preds, err := tr.PredictSecondsBatch(test)
+		if err != nil {
+			return foldPreds{}, err
+		}
+		fp := foldPreds{pred: preds}
+		for _, in := range test {
 			fp.archs = append(fp.archs, in.Arch)
 			fp.truth = append(fp.truth, in.Time)
-			fp.pred = append(fp.pred, pred)
 		}
 		return fp, nil
 	})
@@ -241,6 +260,12 @@ func (f *Framework) MLPSweep(dims int, layerCounts, widths []int) ([]MLPSweepPoi
 	for i, p := range trainPos {
 		train[i] = instances[p]
 	}
+	test := make([]profile.Instance, len(testPos))
+	truth := make([]float64, len(testPos))
+	for i, p := range testPos {
+		test[i] = instances[p]
+		truth[i] = instances[p].Time
+	}
 	// The sweep mutates f.Cfg per cell, so it stays serial; the training
 	// inside each cell already uses the nn batch parallelism.
 	var out []MLPSweepPoint
@@ -253,15 +278,9 @@ func (f *Framework) MLPSweep(dims int, layerCounts, widths []int) ([]MLPSweepPoi
 			if err != nil {
 				return nil, err
 			}
-			var truth, pred []float64
-			for _, p := range testPos {
-				in := instances[p]
-				v, err := tr.PredictSeconds(in)
-				if err != nil {
-					return nil, err
-				}
-				truth = append(truth, in.Time)
-				pred = append(pred, v)
+			pred, err := tr.PredictSecondsBatch(test)
+			if err != nil {
+				return nil, err
 			}
 			m, err := stats.MAPE(truth, pred)
 			if err != nil {

@@ -92,7 +92,9 @@ func (f *Framework) RentStudy(kind RegressorKind, dims int, costBased bool, eval
 		return seconds
 	}
 
-	for si := range testSet {
+	// Iterate the held-out fold in its stored order (not map order) so the
+	// rng consumption — and thus the whole study — is deterministic.
+	for _, si := range folds[0] {
 		s := f.Dataset.Stencils[si]
 		w := sim.DefaultWorkload(s)
 		for e := 0; e < evalPerStencil; e++ {
@@ -100,27 +102,39 @@ func (f *Framework) RentStudy(kind RegressorKind, dims int, costBased bool, eval
 			params := opt.Sample(oc, s.Dims, rng)
 			truthBest, predBest := -1, -1
 			truthVal, predVal := math.Inf(1), math.Inf(1)
-			valid := 0
+			// Measure ground truth on every GPU first; only the GPUs whose
+			// simulation succeeds compete, exactly as before.
+			alive := make([]int, 0, len(archs))
+			times := make([]float64, 0, len(archs))
 			for ai, a := range archs {
 				r, err := f.Model.Run(w, oc, params, a)
 				if err != nil {
 					continue
 				}
-				valid++
-				if tv := metric(a, r.Time); tv < truthVal {
+				alive = append(alive, ai)
+				times = append(times, r.Time)
+			}
+			// One batched forward ranks all surviving GPUs.
+			ins := make([]profile.Instance, len(alive))
+			for i, ai := range alive {
+				ins[i] = profile.Instance{
+					StencilIdx: si, OC: oc, Params: params, Arch: archs[ai].Name,
+				}
+			}
+			preds, err := tr.PredictSecondsBatch(ins)
+			if err != nil {
+				return RentReport{}, err
+			}
+			for i, ai := range alive {
+				a := archs[ai]
+				if tv := metric(a, times[i]); tv < truthVal {
 					truthVal, truthBest = tv, ai
 				}
-				p, err := tr.PredictSeconds(profile.Instance{
-					StencilIdx: si, OC: oc, Params: params, Arch: a.Name,
-				})
-				if err != nil {
-					return RentReport{}, err
-				}
-				if pv := metric(a, p); pv < predVal {
+				if pv := metric(a, preds[i]); pv < predVal {
 					predVal, predBest = pv, ai
 				}
 			}
-			if valid < 2 {
+			if len(alive) < 2 {
 				continue // not a meaningful comparison
 			}
 			report.Instances++

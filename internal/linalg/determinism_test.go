@@ -1,0 +1,86 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The GEMM kernels promise bitwise-identical output at any worker count:
+// every output element is produced by exactly one tile job with a fixed
+// ascending k-accumulation order, so scheduling cannot reassociate any
+// floating-point sum. These tests pin that contract at workers 1/2/8,
+// mirroring the serial-vs-parallel suites in internal/*/determinism_test.go.
+
+var workerCounts = []int{1, 2, 8}
+
+func bitwiseEqual(t *testing.T, name string, want, got *Matrix, workers int) {
+	t.Helper()
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("%s workers=%d: element %d differs: %v vs %v (serial)",
+				name, workers, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestGemmWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range [][3]int{{5, 9, 4}, {67, 300, 33}, {128, 64, 96}} {
+		a := randomMatrix(sh[0], sh[1], rng)
+		b := randomMatrix(sh[1], sh[2], rng)
+		want := New(sh[0], sh[2])
+		Gemm(want, a, b, 1)
+		for _, w := range workerCounts {
+			got := New(sh[0], sh[2])
+			Gemm(got, a, b, w)
+			bitwiseEqual(t, "Gemm", want, got, w)
+		}
+	}
+}
+
+func TestGemmNTWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sh := range [][3]int{{5, 9, 4}, {67, 300, 33}} {
+		a := randomMatrix(sh[0], sh[1], rng)
+		b := randomMatrix(sh[2], sh[1], rng)
+		want := New(sh[0], sh[2])
+		GemmNT(want, a, b, 1)
+		for _, w := range workerCounts {
+			got := New(sh[0], sh[2])
+			GemmNT(got, a, b, w)
+			bitwiseEqual(t, "GemmNT", want, got, w)
+		}
+	}
+}
+
+func TestGemmTNAccWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range [][3]int{{9, 5, 4}, {300, 67, 33}} {
+		a := randomMatrix(sh[0], sh[1], rng)
+		b := randomMatrix(sh[0], sh[2], rng)
+		init := randomMatrix(sh[1], sh[2], rng)
+		want := init.Clone()
+		GemmTNAcc(want, a, b, 1)
+		for _, w := range workerCounts {
+			got := init.Clone()
+			GemmTNAcc(got, a, b, w)
+			bitwiseEqual(t, "GemmTNAcc", want, got, w)
+		}
+	}
+}
+
+func TestAddColSumsWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := randomMatrix(129, 65, rng)
+	want := make([]float64, m.Cols)
+	AddColSums(want, m, 1)
+	for _, w := range workerCounts {
+		got := make([]float64, m.Cols)
+		AddColSums(got, m, w)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("AddColSums workers=%d: col %d differs: %v vs %v", w, j, got[j], want[j])
+			}
+		}
+	}
+}

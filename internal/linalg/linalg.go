@@ -1,0 +1,225 @@
+// Package linalg is the GEMM compute backbone of the neural-network
+// stack: a flat row-major Matrix type and cache-blocked matrix-multiply
+// kernels parallelized over output row tiles on the shared internal/par
+// pool. Every output element is produced by exactly one worker with a
+// fixed ascending k-accumulation order, so results are bitwise identical
+// at any worker count — the same determinism contract the rest of the
+// parallel pipeline holds. Im2col/Col2im lower 2-D and 3-D valid-padding
+// convolutions onto these kernels.
+package linalg
+
+import (
+	"context"
+	"fmt"
+
+	"stencilmart/internal/par"
+)
+
+// Matrix is a dense rows x cols matrix backed by one flat row-major
+// slice: element (i, j) lives at Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows packs a slice of equal-width rows into a new matrix.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: row %d width %d, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Resize returns m reshaped to rows x cols, reusing its backing slice
+// when capacity allows; m may be nil. The returned contents are
+// unspecified — callers overwrite or Zero them.
+func Resize(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil {
+		return New(rows, cols)
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Row returns the i-th row as a subslice of the backing array.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Zero clears every element.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Kernel tiling constants. rowTile is the unit of parallel work — it is a
+// fixed constant (never derived from the worker count) so the assignment
+// of output elements to accumulation loops cannot depend on scheduling.
+// kBlock panels the shared operand so a tile's working set stays
+// cache-resident while every element still accumulates in ascending k
+// order (panels advance in order and each element is owned by one tile).
+const (
+	rowTile = 32
+	kBlock  = 256
+)
+
+func tiles(rows int) int { return (rows + rowTile - 1) / rowTile }
+
+func tileBounds(t, rows int) (lo, hi int) {
+	lo = t * rowTile
+	hi = lo + rowTile
+	if hi > rows {
+		hi = rows
+	}
+	return lo, hi
+}
+
+// runTiles dispatches the row tiles of an output matrix onto the shared
+// pool. workers <= 0 means GOMAXPROCS (par.Workers semantics).
+func runTiles(rows, workers int, fn func(lo, hi int)) {
+	// fn never fails and the context is never cancelled, so ForEach's
+	// error is structurally nil.
+	_ = par.ForEach(context.Background(), tiles(rows), workers, func(t int) error {
+		lo, hi := tileBounds(t, rows)
+		fn(lo, hi)
+		return nil
+	})
+}
+
+// Gemm computes c = a·b for a (m x k), b (k x n), c (m x n). Zero
+// entries of a are skipped — binary stencil tensors make the first
+// network layer's input genuinely sparse — which is exact, not
+// approximate: the skipped term contributes +0.0.
+func Gemm(c, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: gemm shape (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	runTiles(c.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Row(i)
+			for j := range ci {
+				ci[j] = 0
+			}
+		}
+		for k0 := 0; k0 < a.Cols; k0 += kBlock {
+			k1 := k0 + kBlock
+			if k1 > a.Cols {
+				k1 = a.Cols
+			}
+			for i := lo; i < hi; i++ {
+				ci := c.Row(i)
+				ai := a.Row(i)
+				for k := k0; k < k1; k++ {
+					aik := ai[k]
+					if aik == 0 {
+						continue
+					}
+					bk := b.Row(k)
+					for j, v := range bk {
+						ci[j] += aik * v
+					}
+				}
+			}
+		}
+	})
+}
+
+// GemmNT computes c = a·bᵀ for a (m x k), b (n x k), c (m x n): every
+// output element is a dot product of an a-row and a b-row, both
+// contiguous, accumulated in ascending k order.
+func GemmNT(c, a, b *Matrix, workers int) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: gemmNT shape (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	runTiles(c.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for j := range ci {
+				bj := b.Row(j)
+				var s float64
+				for k, v := range ai {
+					s += v * bj[k]
+				}
+				ci[j] = s
+			}
+		}
+	})
+}
+
+// GemmTNAcc computes c += aᵀ·b for a (n x m), b (n x p), c (m x p) — the
+// weight-gradient shape, accumulating into the existing gradient buffer.
+// Each c-row (one a-column) is owned by one tile and sums ascending over
+// a's rows, so gradient accumulation is deterministic by construction.
+func GemmTNAcc(c, a, b *Matrix, workers int) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: gemmTN shape (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	runTiles(c.Rows, workers, func(lo, hi int) {
+		for r := 0; r < a.Rows; r++ {
+			ar := a.Row(r)
+			br := b.Row(r)
+			for i := lo; i < hi; i++ {
+				ari := ar[i]
+				if ari == 0 {
+					continue
+				}
+				ci := c.Row(i)
+				for j, v := range br {
+					ci[j] += ari * v
+				}
+			}
+		}
+	})
+}
+
+// AddColSums accumulates the column sums of m into dst (len m.Cols) —
+// the bias-gradient reduction. Each column is owned by one tile and sums
+// ascending over rows.
+func AddColSums(dst []float64, m *Matrix, workers int) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("linalg: colsums dst %d, want %d", len(dst), m.Cols))
+	}
+	runTiles(m.Cols, workers, func(lo, hi int) {
+		for r := 0; r < m.Rows; r++ {
+			row := m.Row(r)
+			for j := lo; j < hi; j++ {
+				dst[j] += row[j]
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+		if rng.Intn(5) == 0 {
+			m.Data[i] = 0 // exercise the zero-skip path
+		}
+	}
+	return m
+}
+
+// naiveGemm is the textbook triple loop the kernels are checked against.
+func naiveGemm(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Data[i*c.Cols+j] = s
+		}
+	}
+	return c
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func transpose(m *Matrix) *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.At(i, j)
+		}
+	}
+	return t
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Shapes straddle the rowTile and kBlock boundaries.
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 5, 2}, {31, 7, 33}, {32, 300, 17}, {70, 257, 40}} {
+		a := randomMatrix(sh[0], sh[1], rng)
+		b := randomMatrix(sh[1], sh[2], rng)
+		c := New(sh[0], sh[2])
+		// Pre-fill c with garbage: Gemm overwrites.
+		for i := range c.Data {
+			c.Data[i] = 99
+		}
+		Gemm(c, a, b, 0)
+		if d := maxAbsDiff(c, naiveGemm(a, b)); d > 1e-12 {
+			t.Errorf("Gemm %v: max diff %g", sh, d)
+		}
+	}
+}
+
+func TestGemmNTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range [][3]int{{1, 1, 1}, {5, 3, 4}, {33, 40, 31}, {64, 257, 9}} {
+		a := randomMatrix(sh[0], sh[1], rng)
+		b := randomMatrix(sh[2], sh[1], rng)
+		c := New(sh[0], sh[2])
+		GemmNT(c, a, b, 0)
+		if d := maxAbsDiff(c, naiveGemm(a, transpose(b))); d > 1e-12 {
+			t.Errorf("GemmNT %v: max diff %g", sh, d)
+		}
+	}
+}
+
+func TestGemmTNAccMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sh := range [][3]int{{1, 1, 1}, {4, 5, 3}, {40, 33, 31}, {300, 20, 9}} {
+		a := randomMatrix(sh[0], sh[1], rng)
+		b := randomMatrix(sh[0], sh[2], rng)
+		c := randomMatrix(sh[1], sh[2], rng)
+		want := naiveGemm(transpose(a), b)
+		for i := range want.Data {
+			want.Data[i] += c.Data[i] // accumulate semantics
+		}
+		GemmTNAcc(c, a, b, 0)
+		if d := maxAbsDiff(c, want); d > 1e-12 {
+			t.Errorf("GemmTNAcc %v: max diff %g", sh, d)
+		}
+	}
+}
+
+func TestAddColSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomMatrix(37, 41, rng)
+	dst := make([]float64, 41)
+	dst[0] = 2 // accumulate semantics
+	AddColSums(dst, m, 0)
+	for j := 0; j < m.Cols; j++ {
+		want := 0.0
+		if j == 0 {
+			want = 2
+		}
+		for i := 0; i < m.Rows; i++ {
+			want += m.At(i, j)
+		}
+		if math.Abs(dst[j]-want) > 1e-12 {
+			t.Fatalf("col %d: got %g want %g", j, dst[j], want)
+		}
+	}
+}
+
+func TestResizeReusesBacking(t *testing.T) {
+	m := New(8, 8)
+	p := &m.Data[0]
+	m = Resize(m, 4, 6)
+	if m.Rows != 4 || m.Cols != 6 || len(m.Data) != 24 {
+		t.Fatalf("resize shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != p {
+		t.Error("shrinking resize reallocated")
+	}
+	m = Resize(m, 20, 20)
+	if len(m.Data) != 400 {
+		t.Fatalf("growing resize len %d", len(m.Data))
+	}
+	if got := Resize(nil, 2, 3); got.Rows != 2 || got.Cols != 3 {
+		t.Fatalf("nil resize %dx%d", got.Rows, got.Cols)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows = %+v", m)
+	}
+	if z := FromRows(nil); z.Rows != 0 {
+		t.Fatalf("empty FromRows rows %d", z.Rows)
+	}
+}
+
+// convShapes are the geometries the nn conv stack actually uses (side 9,
+// two layers, 2-D and 3-D) plus randomized small shapes.
+func convShapes(rng *rand.Rand) []ConvShape {
+	shapes := []ConvShape{
+		{InC: 1, D: 1, H: 9, W: 9, KD: 1, KH: 3, KW: 3},
+		{InC: 8, D: 1, H: 7, W: 7, KD: 1, KH: 3, KW: 3},
+		{InC: 1, D: 9, H: 9, W: 9, KD: 3, KH: 3, KW: 3},
+		{InC: 8, D: 7, H: 7, W: 7, KD: 3, KH: 3, KW: 3},
+	}
+	for i := 0; i < 6; i++ {
+		d, h, w := 1+rng.Intn(4), 2+rng.Intn(4), 2+rng.Intn(4)
+		kd, kh, kw := 1+rng.Intn(d), 1+rng.Intn(h), 1+rng.Intn(w)
+		shapes = append(shapes, ConvShape{
+			InC: 1 + rng.Intn(3), D: d, H: h, W: w, KD: kd, KH: kh, KW: kw,
+		})
+	}
+	return shapes
+}
+
+func TestIm2colGemmMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, s := range convShapes(rng) {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		outC := 1 + rng.Intn(4)
+		x := make([]float64, s.InLen())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		w := randomMatrix(outC, s.KernelLen(), rng)
+		col := New(s.OutSpatial(), s.KernelLen())
+		s.Im2col(x, col, 0)
+		got := New(s.OutSpatial(), outC)
+		GemmNT(got, col, w, 0)
+
+		od, oh, ow := s.OutDims()
+		for oc := 0; oc < outC; oc++ {
+			m := 0
+			for z := 0; z < od; z++ {
+				for y := 0; y < oh; y++ {
+					for xx := 0; xx < ow; xx++ {
+						var want float64
+						for ic := 0; ic < s.InC; ic++ {
+							for kz := 0; kz < s.KD; kz++ {
+								for ky := 0; ky < s.KH; ky++ {
+									for kx := 0; kx < s.KW; kx++ {
+										wi := ((ic*s.KD+kz)*s.KH+ky)*s.KW + kx
+										xi := ((ic*s.D+z+kz)*s.H+y+ky)*s.W + xx + kx
+										want += x[xi] * w.At(oc, wi)
+									}
+								}
+							}
+						}
+						if math.Abs(got.At(m, oc)-want) > 1e-9 {
+							t.Fatalf("shape %+v oc %d m %d: got %g want %g", s, oc, m, got.At(m, oc), want)
+						}
+						m++
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCol2imIsAdjointOfIm2col checks <im2col(x), g> == <x, col2im(g)> —
+// the defining property that makes Col2im the correct backward pass.
+func TestCol2imIsAdjointOfIm2col(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range convShapes(rng) {
+		x := make([]float64, s.InLen())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		g := randomMatrix(s.OutSpatial(), s.KernelLen(), rng)
+		col := New(s.OutSpatial(), s.KernelLen())
+		s.Im2col(x, col, 0)
+		var lhs float64
+		for i := range col.Data {
+			lhs += col.Data[i] * g.Data[i]
+		}
+		dx := make([]float64, s.InLen())
+		s.Col2im(g, 0, dx)
+		var rhs float64
+		for i := range x {
+			rhs += x[i] * dx[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("shape %+v: <im2col(x),g>=%g but <x,col2im(g)>=%g", s, lhs, rhs)
+		}
+	}
+}
+
+func TestConvShapeValidate(t *testing.T) {
+	if err := (ConvShape{InC: 1, D: 1, H: 3, W: 3, KD: 1, KH: 5, KW: 3}).Validate(); err == nil {
+		t.Error("oversized kernel accepted")
+	}
+	if err := (ConvShape{InC: 0, D: 1, H: 3, W: 3, KD: 1, KH: 1, KW: 1}).Validate(); err == nil {
+		t.Error("zero channels accepted")
+	}
+}

@@ -21,3 +21,64 @@ type Regressor interface {
 	// PredictValue returns the prediction for one row.
 	PredictValue(row []float64) float64
 }
+
+// BatchClassifier is implemented by classifiers that can score many rows
+// in one pass (the nn models run the whole set through a single batched
+// forward). Callers should go through PredictProbaAll, which falls back
+// to row-at-a-time prediction for models without the fast path.
+type BatchClassifier interface {
+	Classifier
+	// PredictProbaBatch returns per-class probabilities for every row.
+	PredictProbaBatch(rows [][]float64) [][]float64
+}
+
+// BatchRegressor is the regression analogue of BatchClassifier.
+type BatchRegressor interface {
+	Regressor
+	// PredictValueBatch returns the prediction for every row.
+	PredictValueBatch(rows [][]float64) []float64
+}
+
+// PredictProbaAll scores every row, using the batched path when the
+// classifier provides one.
+func PredictProbaAll(c Classifier, rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	if bc, ok := c.(BatchClassifier); ok {
+		return bc.PredictProbaBatch(rows)
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = c.PredictProba(r)
+	}
+	return out
+}
+
+// PredictValueAll evaluates every row, using the batched path when the
+// regressor provides one.
+func PredictValueAll(r Regressor, rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	if br, ok := r.(BatchRegressor); ok {
+		return br.PredictValueBatch(rows)
+	}
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = r.PredictValue(row)
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest probability (first wins ties),
+// matching the tie-break every PredictClass implementation uses.
+func ArgMax(p []float64) int {
+	best := 0
+	for k := range p {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	return best
+}

@@ -3,13 +3,20 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+
+	"stencilmart/internal/linalg"
 )
 
-// Dense is a fully connected layer: out = x*W + b.
+// Dense is a fully connected layer: out = x*W + b, one GEMM per
+// direction. The weight block is viewed as an (in x out) matrix; the
+// backward pass computes input gradients with GemmNT and accumulates
+// weight gradients with GemmTNAcc — both bitwise deterministic at any
+// worker count.
 type Dense struct {
 	in, out int
 	w, b    *Param
-	lastX   [][]float64
+	lastX   *linalg.Matrix
+	act, dx *linalg.Matrix // reusable output / input-gradient scratch
 }
 
 // NewDense builds a dense layer with He initialization.
@@ -19,65 +26,43 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
+// wMat views the weight block as an (in x out) matrix.
+func (d *Dense) wMat() *linalg.Matrix {
+	return &linalg.Matrix{Rows: d.in, Cols: d.out, Data: d.w.W}
+}
+
+// wGradMat views the weight gradient as an (in x out) matrix.
+func (d *Dense) wGradMat() *linalg.Matrix {
+	return &linalg.Matrix{Rows: d.in, Cols: d.out, Data: d.w.G}
+}
+
 // Forward implements Layer.
-func (d *Dense) Forward(x [][]float64) [][]float64 {
+func (d *Dense) Forward(x *linalg.Matrix) *linalg.Matrix {
+	if x.Cols != d.in {
+		panic(fmt.Sprintf("nn: dense expects width %d, got %d", d.in, x.Cols))
+	}
 	d.lastX = x
-	out := make([][]float64, len(x))
-	parallelFor(len(x), func(i int) {
-		row := x[i]
-		if len(row) != d.in {
-			panic(fmt.Sprintf("nn: dense expects width %d, got %d", d.in, len(row)))
+	d.act = linalg.Resize(d.act, x.Rows, d.out)
+	linalg.Gemm(d.act, x, d.wMat(), 0)
+	parallelFor(x.Rows, func(i int) {
+		o := d.act.Row(i)
+		for k, b := range d.b.W {
+			o[k] += b
 		}
-		o := make([]float64, d.out)
-		copy(o, d.b.W)
-		for j, v := range row {
-			if v == 0 {
-				continue
-			}
-			w := d.w.W[j*d.out : (j+1)*d.out]
-			for k := range o {
-				o[k] += v * w[k]
-			}
-		}
-		out[i] = o
 	})
-	return out
+	return d.act
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(grad [][]float64) [][]float64 {
-	out := make([][]float64, len(grad))
-	// dX can be computed per row in parallel; dW/dB accumulate serially
-	// afterward to stay deterministic.
-	parallelFor(len(grad), func(i int) {
-		g := grad[i]
-		dx := make([]float64, d.in)
-		for j := range dx {
-			w := d.w.W[j*d.out : (j+1)*d.out]
-			var s float64
-			for k := range g {
-				s += g[k] * w[k]
-			}
-			dx[j] = s
-		}
-		out[i] = dx
-	})
-	for i, g := range grad {
-		x := d.lastX[i]
-		for j, v := range x {
-			if v == 0 {
-				continue
-			}
-			gw := d.w.G[j*d.out : (j+1)*d.out]
-			for k := range g {
-				gw[k] += v * g[k]
-			}
-		}
-		for k := range g {
-			d.b.G[k] += g[k]
-		}
+func (d *Dense) Backward(grad *linalg.Matrix) *linalg.Matrix {
+	if grad.Cols != d.out {
+		panic(fmt.Sprintf("nn: dense gradient width %d, want %d", grad.Cols, d.out))
 	}
-	return out
+	d.dx = linalg.Resize(d.dx, grad.Rows, d.in)
+	linalg.GemmNT(d.dx, grad, d.wMat(), 0)
+	linalg.GemmTNAcc(d.wGradMat(), d.lastX, grad, 0)
+	linalg.AddColSums(d.b.G, grad, 0)
+	return d.dx
 }
 
 // Params implements Layer.
@@ -86,46 +71,53 @@ func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 // OutDim implements Layer.
 func (d *Dense) OutDim(int) int { return d.out }
 
-// ReLU is the rectified linear activation.
+// ReLU is the rectified linear activation. Its mask and output buffers
+// persist across steps.
 type ReLU struct {
-	mask [][]bool
+	mask    []bool
+	act, dx *linalg.Matrix
 }
 
 // NewReLU returns a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x [][]float64) [][]float64 {
-	out := make([][]float64, len(x))
-	r.mask = make([][]bool, len(x))
-	for i, row := range x {
-		o := make([]float64, len(row))
-		m := make([]bool, len(row))
-		for j, v := range row {
+func (r *ReLU) Forward(x *linalg.Matrix) *linalg.Matrix {
+	n := len(x.Data)
+	r.act = linalg.Resize(r.act, x.Rows, x.Cols)
+	if cap(r.mask) < n {
+		r.mask = make([]bool, n)
+	}
+	r.mask = r.mask[:n]
+	parallelFor(x.Rows, func(i int) {
+		lo, hi := i*x.Cols, (i+1)*x.Cols
+		src, dst, mask := x.Data[lo:hi], r.act.Data[lo:hi], r.mask[lo:hi]
+		for j, v := range src {
 			if v > 0 {
-				o[j] = v
-				m[j] = true
+				dst[j], mask[j] = v, true
+			} else {
+				dst[j], mask[j] = 0, false
 			}
 		}
-		out[i] = o
-		r.mask[i] = m
-	}
-	return out
+	})
+	return r.act
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(grad [][]float64) [][]float64 {
-	out := make([][]float64, len(grad))
-	for i, g := range grad {
-		o := make([]float64, len(g))
-		for j := range g {
-			if r.mask[i][j] {
-				o[j] = g[j]
+func (r *ReLU) Backward(grad *linalg.Matrix) *linalg.Matrix {
+	r.dx = linalg.Resize(r.dx, grad.Rows, grad.Cols)
+	parallelFor(grad.Rows, func(i int) {
+		lo, hi := i*grad.Cols, (i+1)*grad.Cols
+		src, dst, mask := grad.Data[lo:hi], r.dx.Data[lo:hi], r.mask[lo:hi]
+		for j, v := range src {
+			if mask[j] {
+				dst[j] = v
+			} else {
+				dst[j] = 0
 			}
 		}
-		out[i] = o
-	}
-	return out
+	})
+	return r.dx
 }
 
 // Params implements Layer.
@@ -136,15 +128,25 @@ func (r *ReLU) OutDim(in int) int { return in }
 
 // Conv is a valid-padding, stride-1 convolution over a (C, D, H, W)
 // volume; D == 1 with KD == 1 yields the 2-D case. Rows are flattened in
-// C-major, then D, H, W order.
+// C-major, then D, H, W order. The layer runs as im2col + GEMM: Forward
+// lowers the whole batch into one patch matrix (kept for the backward
+// pass) and multiplies it against the weight matrix; Backward recovers
+// input gradients through one GEMM plus col2im and weight gradients
+// through a single GemmTNAcc over the saved patch matrix.
 type Conv struct {
 	inC, outC  int
-	d, h, w    int // input spatial dims
-	kd, kh, kw int
+	shape      linalg.ConvShape
 	od, oh, ow int
+	m, k       int    // output points per channel / patch width
 	weight     *Param // [outC][inC][kd][kh][kw]
 	bias       *Param
-	lastX      [][]float64
+
+	col     *linalg.Matrix // (n*m x k) patch matrix from the last Forward
+	prod    *linalg.Matrix // (n*m x outC) forward GEMM product
+	act     *linalg.Matrix // (n x outC*m) channel-major activations
+	gcols   *linalg.Matrix // (n*m x outC) transposed output gradients
+	colGrad *linalg.Matrix // (n*m x k) patch-space input gradients
+	dx      *linalg.Matrix // (n x inLen) input gradients
 }
 
 // NewConv2D builds a 2-D convolution over an h x w single-plane input.
@@ -158,22 +160,24 @@ func NewConv3D(inC, outC, d, h, w, k int, rng *rand.Rand) *Conv {
 }
 
 func newConv(inC, outC, d, h, w, kd, kh, kw int, rng *rand.Rand) *Conv {
-	od, oh, ow := d-kd+1, h-kh+1, w-kw+1
-	if od < 1 || oh < 1 || ow < 1 {
+	shape := linalg.ConvShape{InC: inC, D: d, H: h, W: w, KD: kd, KH: kh, KW: kw}
+	if err := shape.Validate(); err != nil {
 		panic(fmt.Sprintf("nn: conv kernel %dx%dx%d larger than input %dx%dx%d", kd, kh, kw, d, h, w))
 	}
+	od, oh, ow := shape.OutDims()
 	c := &Conv{
-		inC: inC, outC: outC, d: d, h: h, w: w,
-		kd: kd, kh: kh, kw: kw, od: od, oh: oh, ow: ow,
-		weight: newParam(outC * inC * kd * kh * kw),
+		inC: inC, outC: outC, shape: shape,
+		od: od, oh: oh, ow: ow,
+		m: shape.OutSpatial(), k: shape.KernelLen(),
+		weight: newParam(outC * shape.KernelLen()),
 		bias:   newParam(outC),
 	}
-	heInit(c.weight.W, inC*kd*kh*kw, rng)
+	heInit(c.weight.W, shape.KernelLen(), rng)
 	return c
 }
 
 func (c *Conv) inIdx(ch, z, y, x int) int {
-	return ((ch*c.d+z)*c.h+y)*c.w + x
+	return ((ch*c.shape.D+z)*c.shape.H+y)*c.shape.W + x
 }
 
 func (c *Conv) outIdx(ch, z, y, x int) int {
@@ -181,107 +185,89 @@ func (c *Conv) outIdx(ch, z, y, x int) int {
 }
 
 func (c *Conv) wIdx(oc, ic, kz, ky, kx int) int {
-	return (((oc*c.inC+ic)*c.kd+kz)*c.kh+ky)*c.kw + kx
+	return (((oc*c.inC+ic)*c.shape.KD+kz)*c.shape.KH+ky)*c.shape.KW + kx
+}
+
+// wMat views the weight block as an (outC x patch) matrix — the same
+// column order Im2col produces.
+func (c *Conv) wMat() *linalg.Matrix {
+	return &linalg.Matrix{Rows: c.outC, Cols: c.k, Data: c.weight.W}
+}
+
+// wGradMat views the weight gradient as an (outC x patch) matrix.
+func (c *Conv) wGradMat() *linalg.Matrix {
+	return &linalg.Matrix{Rows: c.outC, Cols: c.k, Data: c.weight.G}
 }
 
 // Forward implements Layer.
-func (c *Conv) Forward(x [][]float64) [][]float64 {
-	c.lastX = x
-	want := c.inC * c.d * c.h * c.w
-	out := make([][]float64, len(x))
-	parallelFor(len(x), func(i int) {
-		row := x[i]
-		if len(row) != want {
-			panic(fmt.Sprintf("nn: conv expects width %d, got %d", want, len(row)))
-		}
-		o := make([]float64, c.outC*c.od*c.oh*c.ow)
+func (c *Conv) Forward(x *linalg.Matrix) *linalg.Matrix {
+	if x.Cols != c.shape.InLen() {
+		panic(fmt.Sprintf("nn: conv expects width %d, got %d", c.shape.InLen(), x.Cols))
+	}
+	n := x.Rows
+	c.col = linalg.Resize(c.col, n*c.m, c.k)
+	parallelFor(n, func(i int) {
+		c.shape.Im2col(x.Row(i), c.col, i*c.m)
+	})
+	c.prod = linalg.Resize(c.prod, n*c.m, c.outC)
+	linalg.GemmNT(c.prod, c.col, c.wMat(), 0)
+	// Transpose each sample's (m x outC) product block to the
+	// channel-major activation layout, adding the bias.
+	c.act = linalg.Resize(c.act, n, c.outC*c.m)
+	parallelFor(n, func(i int) {
+		o := c.act.Row(i)
+		block := c.prod.Data[i*c.m*c.outC : (i+1)*c.m*c.outC]
 		for oc := 0; oc < c.outC; oc++ {
-			for z := 0; z < c.od; z++ {
-				for y := 0; y < c.oh; y++ {
-					for xx := 0; xx < c.ow; xx++ {
-						acc := c.bias.W[oc]
-						for ic := 0; ic < c.inC; ic++ {
-							for kz := 0; kz < c.kd; kz++ {
-								for ky := 0; ky < c.kh; ky++ {
-									for kx := 0; kx < c.kw; kx++ {
-										acc += row[c.inIdx(ic, z+kz, y+ky, xx+kx)] *
-											c.weight.W[c.wIdx(oc, ic, kz, ky, kx)]
-									}
-								}
-							}
-						}
-						o[c.outIdx(oc, z, y, xx)] = acc
-					}
-				}
+			b := c.bias.W[oc]
+			dst := o[oc*c.m : (oc+1)*c.m]
+			for m := range dst {
+				dst[m] = block[m*c.outC+oc] + b
 			}
 		}
-		out[i] = o
 	})
-	return out
+	return c.act
 }
 
 // Backward implements Layer.
-func (c *Conv) Backward(grad [][]float64) [][]float64 {
-	out := make([][]float64, len(grad))
-	parallelFor(len(grad), func(i int) {
-		g := grad[i]
-		dx := make([]float64, c.inC*c.d*c.h*c.w)
-		for oc := 0; oc < c.outC; oc++ {
-			for z := 0; z < c.od; z++ {
-				for y := 0; y < c.oh; y++ {
-					for xx := 0; xx < c.ow; xx++ {
-						gv := g[c.outIdx(oc, z, y, xx)]
-						if gv == 0 {
-							continue
-						}
-						for ic := 0; ic < c.inC; ic++ {
-							for kz := 0; kz < c.kd; kz++ {
-								for ky := 0; ky < c.kh; ky++ {
-									for kx := 0; kx < c.kw; kx++ {
-										dx[c.inIdx(ic, z+kz, y+ky, xx+kx)] +=
-											gv * c.weight.W[c.wIdx(oc, ic, kz, ky, kx)]
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-		out[i] = dx
-	})
-	// Weight/bias gradients accumulate serially for determinism.
-	for i, g := range grad {
-		row := c.lastX[i]
-		for oc := 0; oc < c.outC; oc++ {
-			for z := 0; z < c.od; z++ {
-				for y := 0; y < c.oh; y++ {
-					for xx := 0; xx < c.ow; xx++ {
-						gv := g[c.outIdx(oc, z, y, xx)]
-						if gv == 0 {
-							continue
-						}
-						c.bias.G[oc] += gv
-						for ic := 0; ic < c.inC; ic++ {
-							for kz := 0; kz < c.kd; kz++ {
-								for ky := 0; ky < c.kh; ky++ {
-									for kx := 0; kx < c.kw; kx++ {
-										c.weight.G[c.wIdx(oc, ic, kz, ky, kx)] +=
-											gv * row[c.inIdx(ic, z+kz, y+ky, xx+kx)]
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		}
+func (c *Conv) Backward(grad *linalg.Matrix) *linalg.Matrix {
+	if grad.Cols != c.outC*c.m {
+		panic(fmt.Sprintf("nn: conv gradient width %d, want %d", grad.Cols, c.outC*c.m))
 	}
-	return out
+	n := grad.Rows
+	// Transpose gradients to (n*m x outC) — the layout every GEMM below
+	// consumes.
+	c.gcols = linalg.Resize(c.gcols, n*c.m, c.outC)
+	parallelFor(n, func(i int) {
+		g := grad.Row(i)
+		block := c.gcols.Data[i*c.m*c.outC : (i+1)*c.m*c.outC]
+		for oc := 0; oc < c.outC; oc++ {
+			src := g[oc*c.m : (oc+1)*c.m]
+			for m, v := range src {
+				block[m*c.outC+oc] = v
+			}
+		}
+	})
+	// Input gradients: patch-space gradients in one GEMM, scattered back
+	// per sample by the im2col adjoint.
+	c.colGrad = linalg.Resize(c.colGrad, n*c.m, c.k)
+	linalg.Gemm(c.colGrad, c.gcols, c.wMat(), 0)
+	c.dx = linalg.Resize(c.dx, n, c.shape.InLen())
+	parallelFor(n, func(i int) {
+		dxi := c.dx.Row(i)
+		for j := range dxi {
+			dxi[j] = 0
+		}
+		c.shape.Col2im(c.colGrad, i*c.m, dxi)
+	})
+	// Parameter gradients: one GEMM over the saved patch matrix plus a
+	// column-sum reduction, both accumulating deterministically.
+	linalg.GemmTNAcc(c.wGradMat(), c.gcols, c.col, 0)
+	linalg.AddColSums(c.bias.G, c.gcols, 0)
+	return c.dx
 }
 
 // Params implements Layer.
 func (c *Conv) Params() []*Param { return []*Param{c.weight, c.bias} }
 
 // OutDim implements Layer.
-func (c *Conv) OutDim(int) int { return c.outC * c.od * c.oh * c.ow }
+func (c *Conv) OutDim(int) int { return c.outC * c.m }

@@ -4,17 +4,23 @@ import (
 	"fmt"
 	"math/rand"
 
+	"stencilmart/internal/linalg"
 	"stencilmart/internal/tensor"
 )
 
 // TwoBranch routes the first splitAt features through branch A (e.g. a
 // convolutional stack over the assigned tensor) and the remainder through
 // branch B (e.g. identity over the parameter/hardware features), then
-// concatenates the outputs — the ConvMLP merge of Fig. 8.
+// concatenates the outputs — the ConvMLP merge of Fig. 8. Split and
+// concat buffers are layer scratch, reused across steps.
 type TwoBranch struct {
 	splitAt int
 	a, b    *Network
 	aOut    int
+
+	xa, xb  *linalg.Matrix // branch inputs
+	ga, gb  *linalg.Matrix // branch output gradients
+	act, dx *linalg.Matrix // concatenated output / input gradient
 }
 
 // NewTwoBranch builds the layer; aOut is branch A's flat output width.
@@ -23,46 +29,48 @@ func NewTwoBranch(splitAt int, a, b *Network, aOut int) *TwoBranch {
 }
 
 // Forward implements Layer.
-func (t *TwoBranch) Forward(x [][]float64) [][]float64 {
-	xa := make([][]float64, len(x))
-	xb := make([][]float64, len(x))
-	for i, row := range x {
-		if len(row) < t.splitAt {
-			panic(fmt.Sprintf("nn: two-branch expects >= %d features, got %d", t.splitAt, len(row)))
-		}
-		xa[i] = row[:t.splitAt]
-		xb[i] = row[t.splitAt:]
+func (t *TwoBranch) Forward(x *linalg.Matrix) *linalg.Matrix {
+	if x.Cols < t.splitAt {
+		panic(fmt.Sprintf("nn: two-branch expects >= %d features, got %d", t.splitAt, x.Cols))
 	}
-	oa := t.a.Forward(xa)
-	ob := t.b.Forward(xb)
-	out := make([][]float64, len(x))
-	for i := range out {
-		row := make([]float64, len(oa[i])+len(ob[i]))
-		copy(row, oa[i])
-		copy(row[len(oa[i]):], ob[i])
-		out[i] = row
-	}
-	return out
+	n := x.Rows
+	t.xa = linalg.Resize(t.xa, n, t.splitAt)
+	t.xb = linalg.Resize(t.xb, n, x.Cols-t.splitAt)
+	parallelFor(n, func(i int) {
+		row := x.Row(i)
+		copy(t.xa.Row(i), row[:t.splitAt])
+		copy(t.xb.Row(i), row[t.splitAt:])
+	})
+	oa := t.a.Forward(t.xa)
+	ob := t.b.Forward(t.xb)
+	t.act = linalg.Resize(t.act, n, oa.Cols+ob.Cols)
+	parallelFor(n, func(i int) {
+		o := t.act.Row(i)
+		copy(o, oa.Row(i))
+		copy(o[oa.Cols:], ob.Row(i))
+	})
+	return t.act
 }
 
 // Backward implements Layer.
-func (t *TwoBranch) Backward(grad [][]float64) [][]float64 {
-	ga := make([][]float64, len(grad))
-	gb := make([][]float64, len(grad))
-	for i, g := range grad {
-		ga[i] = g[:t.aOut]
-		gb[i] = g[t.aOut:]
-	}
-	da := t.a.Backward(ga)
-	db := t.b.Backward(gb)
-	out := make([][]float64, len(grad))
-	for i := range out {
-		row := make([]float64, len(da[i])+len(db[i]))
-		copy(row, da[i])
-		copy(row[len(da[i]):], db[i])
-		out[i] = row
-	}
-	return out
+func (t *TwoBranch) Backward(grad *linalg.Matrix) *linalg.Matrix {
+	n := grad.Rows
+	t.ga = linalg.Resize(t.ga, n, t.aOut)
+	t.gb = linalg.Resize(t.gb, n, grad.Cols-t.aOut)
+	parallelFor(n, func(i int) {
+		g := grad.Row(i)
+		copy(t.ga.Row(i), g[:t.aOut])
+		copy(t.gb.Row(i), g[t.aOut:])
+	})
+	da := t.a.Backward(t.ga)
+	db := t.b.Backward(t.gb)
+	t.dx = linalg.Resize(t.dx, n, da.Cols+db.Cols)
+	parallelFor(n, func(i int) {
+		o := t.dx.Row(i)
+		copy(o, da.Row(i))
+		copy(o[da.Cols:], db.Row(i))
+	})
+	return t.dx
 }
 
 // Params implements Layer.

@@ -1,9 +1,13 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"stencilmart/internal/linalg"
+	"stencilmart/internal/par"
 )
 
 // Adam is the Adam optimizer over a set of parameter blocks.
@@ -29,12 +33,17 @@ func NewAdam(params []*Param, lr float64) *Adam {
 }
 
 // Step applies one Adam update from the accumulated gradients, then
-// clears them.
+// clears them. Parameter blocks update independently — each block is
+// touched by exactly one worker — so the update fans out on the shared
+// pool and stays deterministic by construction.
 func (a *Adam) Step() {
 	a.t++
 	c1 := 1 - math.Pow(a.beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.beta2, float64(a.t))
-	for pi, p := range a.params {
+	// The closure never fails and the context is never cancelled, so the
+	// pool error is structurally nil.
+	_ = par.ForEach(context.Background(), len(a.params), 0, func(pi int) error {
+		p := a.params[pi]
 		m, v := a.m[pi], a.v[pi]
 		for i := range p.W {
 			g := p.G[i]
@@ -43,7 +52,8 @@ func (a *Adam) Step() {
 			p.W[i] -= a.lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.eps)
 		}
 		p.zeroGrad()
-	}
+		return nil
+	})
 }
 
 // Network is a sequential layer stack.
@@ -54,8 +64,9 @@ type Network struct {
 // NewNetwork builds a sequential network.
 func NewNetwork(layers ...Layer) *Network { return &Network{layers: layers} }
 
-// Forward runs the batch through every layer.
-func (n *Network) Forward(x [][]float64) [][]float64 {
+// Forward runs the batch through every layer. The result is scratch
+// owned by the final layer (or x itself for an empty network).
+func (n *Network) Forward(x *linalg.Matrix) *linalg.Matrix {
 	for _, l := range n.layers {
 		x = l.Forward(x)
 	}
@@ -63,7 +74,7 @@ func (n *Network) Forward(x [][]float64) [][]float64 {
 }
 
 // Backward propagates output gradients through every layer.
-func (n *Network) Backward(grad [][]float64) [][]float64 {
+func (n *Network) Backward(grad *linalg.Matrix) *linalg.Matrix {
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		grad = n.layers[i].Backward(grad)
 	}
@@ -112,9 +123,8 @@ func (c *TrainConfig) setDefaults() {
 	}
 }
 
-// softmaxRow returns softmax probabilities for one score row.
-func softmaxRow(scores []float64) []float64 {
-	out := make([]float64, len(scores))
+// softmaxInto writes softmax probabilities for one score row into dst.
+func softmaxInto(dst, scores []float64) {
 	maxv := scores[0]
 	for _, s := range scores[1:] {
 		if s > maxv {
@@ -123,23 +133,33 @@ func softmaxRow(scores []float64) []float64 {
 	}
 	var sum float64
 	for i, s := range scores {
-		out[i] = math.Exp(s - maxv)
-		sum += out[i]
+		dst[i] = math.Exp(s - maxv)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
+}
+
+// softmaxRow returns softmax probabilities for one score row.
+func softmaxRow(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	softmaxInto(out, scores)
 	return out
 }
 
-// trainLoop is the shared minibatch loop; lossGrad maps a batch of
-// outputs and target indices to output gradients.
+// trainLoop is the shared minibatch loop; lossGrad writes the output
+// gradients for a batch of outputs and target indices into grad. The
+// batch and gradient matrices are reused across steps, so once every
+// layer's scratch is warm a step performs no batch-sized allocations.
 func trainLoop(net *Network, x [][]float64, cfg TrainConfig,
-	lossGrad func(out [][]float64, batchIdx []int) [][]float64) {
+	lossGrad func(out *linalg.Matrix, batchIdx []int, grad *linalg.Matrix)) {
 	cfg.setDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	adam := NewAdam(net.Params(), cfg.LR)
 	n := len(x)
+	width := len(x[0])
+	var batch, grad *linalg.Matrix
 	for e := 0; e < cfg.Epochs; e++ {
 		perm := rng.Perm(n)
 		for lo := 0; lo < n; lo += cfg.Batch {
@@ -148,23 +168,25 @@ func trainLoop(net *Network, x [][]float64, cfg TrainConfig,
 				hi = n
 			}
 			idx := perm[lo:hi]
-			batch := make([][]float64, len(idx))
-			for i, p := range idx {
-				batch[i] = x[p]
-			}
+			batch = packRows(batch, x, idx, width)
 			out := net.Forward(batch)
-			net.Backward(lossGrad(out, idx))
+			grad = linalg.Resize(grad, out.Rows, out.Cols)
+			lossGrad(out, idx, grad)
+			net.Backward(grad)
 			adam.Step()
 		}
 	}
 }
 
 // Classifier wraps a network with a softmax cross-entropy head; it
-// implements ml.Classifier.
+// implements ml.Classifier and ml.BatchClassifier. One Classifier must
+// not be used from multiple goroutines concurrently (forward scratch is
+// shared); distinct instances are independent.
 type Classifier struct {
 	Net     *Network
 	Cfg     TrainConfig
 	classes int
+	in      *linalg.Matrix // reusable inference input
 }
 
 // FitClassifier implements ml.Classifier.
@@ -176,27 +198,38 @@ func (c *Classifier) FitClassifier(x [][]float64, y []int, numClasses int) error
 		return fmt.Errorf("nn: classifier needs >= 2 classes, got %d", numClasses)
 	}
 	c.classes = numClasses
-	trainLoop(c.Net, x, c.Cfg, func(out [][]float64, idx []int) [][]float64 {
-		grads := make([][]float64, len(out))
-		scale := 1 / float64(len(out))
-		for i, row := range out {
-			p := softmaxRow(row)
-			g := make([]float64, len(p))
-			for k := range p {
-				g[k] = p[k] * scale
+	trainLoop(c.Net, x, c.Cfg, func(out *linalg.Matrix, idx []int, grad *linalg.Matrix) {
+		scale := 1 / float64(out.Rows)
+		for i := 0; i < out.Rows; i++ {
+			g := grad.Row(i)
+			softmaxInto(g, out.Row(i))
+			for k := range g {
+				g[k] *= scale
 			}
 			g[y[idx[i]]] -= scale
-			grads[i] = g
 		}
-		return grads
 	})
 	return nil
 }
 
+// PredictProbaBatch implements ml.BatchClassifier: one forward pass for
+// the whole row set.
+func (c *Classifier) PredictProbaBatch(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	c.in = packAll(c.in, rows)
+	out := c.Net.Forward(c.in)
+	probs := make([][]float64, out.Rows)
+	for i := range probs {
+		probs[i] = softmaxRow(out.Row(i))
+	}
+	return probs
+}
+
 // PredictProba implements ml.Classifier.
 func (c *Classifier) PredictProba(row []float64) []float64 {
-	out := c.Net.Forward([][]float64{row})
-	return softmaxRow(out[0])
+	return c.PredictProbaBatch([][]float64{row})[0]
 }
 
 // PredictClass implements ml.Classifier.
@@ -212,10 +245,12 @@ func (c *Classifier) PredictClass(row []float64) int {
 }
 
 // Regressor wraps a network with an MSE head; the final layer must output
-// one value. It implements ml.Regressor.
+// one value. It implements ml.Regressor and ml.BatchRegressor. Like
+// Classifier, one instance is not safe for concurrent use.
 type Regressor struct {
 	Net *Network
 	Cfg TrainConfig
+	in  *linalg.Matrix // reusable inference input
 }
 
 // FitRegressor implements ml.Regressor.
@@ -223,18 +258,31 @@ func (r *Regressor) FitRegressor(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("nn: regressor fit with %d rows, %d targets", len(x), len(y))
 	}
-	trainLoop(r.Net, x, r.Cfg, func(out [][]float64, idx []int) [][]float64 {
-		grads := make([][]float64, len(out))
-		scale := 2 / float64(len(out))
-		for i, row := range out {
-			grads[i] = []float64{(row[0] - y[idx[i]]) * scale}
+	trainLoop(r.Net, x, r.Cfg, func(out *linalg.Matrix, idx []int, grad *linalg.Matrix) {
+		scale := 2 / float64(out.Rows)
+		for i := 0; i < out.Rows; i++ {
+			grad.Row(i)[0] = (out.Row(i)[0] - y[idx[i]]) * scale
 		}
-		return grads
 	})
 	return nil
 }
 
+// PredictValueBatch implements ml.BatchRegressor: one forward pass for
+// the whole row set.
+func (r *Regressor) PredictValueBatch(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	r.in = packAll(r.in, rows)
+	out := r.Net.Forward(r.in)
+	vals := make([]float64, out.Rows)
+	for i := range vals {
+		vals[i] = out.Row(i)[0]
+	}
+	return vals
+}
+
 // PredictValue implements ml.Regressor.
 func (r *Regressor) PredictValue(row []float64) float64 {
-	return r.Net.Forward([][]float64{row})[0][0]
+	return r.PredictValueBatch([][]float64{row})[0]
 }

@@ -4,13 +4,28 @@
 // MSE losses, the Adam optimizer, and builders for the paper's four
 // architectures: ConvNet and FcNet (classification, Sec. IV-D), MLP and
 // ConvMLP (regression, Sec. IV-E).
+//
+// Batches are flat row-major linalg.Matrix values and the heavy layers
+// (Dense, Conv) lower onto the internal/linalg GEMM kernels: convolutions
+// run as im2col + GEMM and every layer reuses per-layer scratch buffers
+// across steps, so a training step allocates nothing proportional to the
+// batch once buffers are warm. All parallelism — GEMM tiles, per-row
+// transforms, Adam parameter blocks — preserves the pipeline's bitwise
+// determinism contract: each output element is produced by exactly one
+// worker with a fixed accumulation order. A trained model's Forward /
+// Predict paths share those scratch buffers, so one model must not be
+// called from multiple goroutines concurrently (distinct models are
+// independent, which is how the CV folds parallelize).
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"stencilmart/internal/linalg"
 )
 
 // Param is one trainable parameter block with its gradient accumulator.
@@ -30,15 +45,16 @@ func (p *Param) zeroGrad() {
 	}
 }
 
-// Layer is one differentiable network stage operating on batches of flat
-// rows.
+// Layer is one differentiable network stage operating on flat batch
+// matrices (one row per sample). Returned matrices are layer-owned
+// scratch, valid until the next call on the same layer.
 type Layer interface {
 	// Forward consumes a batch and returns the activations, caching
 	// whatever Backward needs.
-	Forward(x [][]float64) [][]float64
+	Forward(x *linalg.Matrix) *linalg.Matrix
 	// Backward consumes dLoss/dOut, accumulates parameter gradients, and
 	// returns dLoss/dIn.
-	Backward(grad [][]float64) [][]float64
+	Backward(grad *linalg.Matrix) *linalg.Matrix
 	// Params returns the trainable parameters (nil for stateless layers).
 	Params() []*Param
 	// OutDim returns the flat output width given the input width.
@@ -56,8 +72,35 @@ func heInit(w []float64, fanIn int, rng *rand.Rand) {
 	}
 }
 
+// packRows copies the selected corpus rows into the reusable batch
+// matrix, validating widths.
+func packRows(dst *linalg.Matrix, x [][]float64, idx []int, width int) *linalg.Matrix {
+	dst = linalg.Resize(dst, len(idx), width)
+	for i, p := range idx {
+		if len(x[p]) != width {
+			panic(fmt.Sprintf("nn: row %d width %d, want %d", p, len(x[p]), width))
+		}
+		copy(dst.Row(i), x[p])
+	}
+	return dst
+}
+
+// packAll copies every row into the reusable batch matrix.
+func packAll(dst *linalg.Matrix, rows [][]float64) *linalg.Matrix {
+	dst = linalg.Resize(dst, len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != dst.Cols {
+			panic(fmt.Sprintf("nn: row %d width %d, want %d", i, len(r), dst.Cols))
+		}
+		copy(dst.Row(i), r)
+	}
+	return dst
+}
+
 // parallelFor runs f over [0, n) split across GOMAXPROCS goroutines; it
-// falls back to a serial loop for small n.
+// falls back to a serial loop for small n. Each index is processed by
+// exactly one goroutine, so writes partitioned by index stay
+// deterministic.
 func parallelFor(n int, f func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if n < 4 || workers < 2 {

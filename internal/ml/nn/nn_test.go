@@ -5,25 +5,31 @@ import (
 	"math/rand"
 	"testing"
 
+	"stencilmart/internal/linalg"
 	"stencilmart/internal/tensor"
 )
+
+// row1 wraps a single sample as a 1-row batch matrix.
+func row1(x []float64) *linalg.Matrix {
+	return linalg.FromRows([][]float64{x})
+}
 
 // numericGradCheck compares analytic input gradients against central
 // finite differences for a scalar loss L = sum(out^2)/2.
 func numericGradCheck(t *testing.T, layer Layer, in []float64, tol float64) {
 	t.Helper()
 	forward := func(x []float64) float64 {
-		out := layer.Forward([][]float64{x})[0]
+		out := layer.Forward(row1(x)).Row(0)
 		var s float64
 		for _, v := range out {
 			s += v * v / 2
 		}
 		return s
 	}
-	out := layer.Forward([][]float64{in})[0]
+	out := layer.Forward(row1(in)).Row(0)
 	grad := make([]float64, len(out))
 	copy(grad, out) // dL/dout = out
-	analytic := layer.Backward([][]float64{grad})[0]
+	analytic := append([]float64(nil), layer.Backward(row1(grad)).Row(0)...)
 
 	const eps = 1e-5
 	for j := range in {
@@ -72,13 +78,13 @@ func TestConv3DGradCheck(t *testing.T) {
 
 func TestReLUForwardBackward(t *testing.T) {
 	r := NewReLU()
-	out := r.Forward([][]float64{{-1, 0, 2}})
-	if out[0][0] != 0 || out[0][1] != 0 || out[0][2] != 2 {
-		t.Errorf("ReLU forward = %v", out[0])
+	out := r.Forward(row1([]float64{-1, 0, 2}))
+	if out.At(0, 0) != 0 || out.At(0, 1) != 0 || out.At(0, 2) != 2 {
+		t.Errorf("ReLU forward = %v", out.Row(0))
 	}
-	g := r.Backward([][]float64{{5, 5, 5}})
-	if g[0][0] != 0 || g[0][1] != 0 || g[0][2] != 5 {
-		t.Errorf("ReLU backward = %v", g[0])
+	g := r.Backward(row1([]float64{5, 5, 5}))
+	if g.At(0, 0) != 0 || g.At(0, 1) != 0 || g.At(0, 2) != 5 {
+		t.Errorf("ReLU backward = %v", g.Row(0))
 	}
 }
 
@@ -88,8 +94,8 @@ func TestDenseWeightGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	d := NewDense(2, 2, rng)
 	x := []float64{3, -2}
-	d.Forward([][]float64{x})
-	d.Backward([][]float64{{1, 10}})
+	d.Forward(row1(x))
+	d.Backward(row1([]float64{1, 10}))
 	wantW := []float64{3, 30, -2, -20}
 	for i, w := range wantW {
 		if math.Abs(d.w.G[i]-w) > 1e-12 {
@@ -150,6 +156,53 @@ func TestClassifierLearnsBlobs(t *testing.T) {
 	}
 	if math.Abs(sum-1) > 1e-9 {
 		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestBatchPredictionsMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var x [][]float64
+	var yc []int
+	var yr []float64
+	for i := 0; i < 60; i++ {
+		x = append(x, []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+		yc = append(yc, i%2)
+		yr = append(yr, rng.NormFloat64())
+	}
+	cls, err := NewFcNet(3, 2, 1, 8, TrainConfig{Epochs: 5, Batch: 16, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.FitClassifier(x, yc, 2); err != nil {
+		t.Fatal(err)
+	}
+	batch := cls.PredictProbaBatch(x)
+	for i := range x {
+		single := cls.PredictProba(x[i])
+		for k := range single {
+			if batch[i][k] != single[k] {
+				t.Fatalf("proba[%d][%d]: batch %g vs single %g", i, k, batch[i][k], single[k])
+			}
+		}
+	}
+	reg, err := NewMLP(3, 1, 8, TrainConfig{Epochs: 5, Batch: 16, Seed: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.FitRegressor(x, yr); err != nil {
+		t.Fatal(err)
+	}
+	vals := reg.PredictValueBatch(x)
+	for i := range x {
+		if single := reg.PredictValue(x[i]); vals[i] != single {
+			t.Fatalf("value[%d]: batch %g vs single %g", i, vals[i], single)
+		}
+	}
+	if got := cls.PredictProbaBatch(nil); got != nil {
+		t.Errorf("empty batch probas = %v", got)
+	}
+	if got := reg.PredictValueBatch(nil); got != nil {
+		t.Errorf("empty batch values = %v", got)
 	}
 }
 
@@ -239,19 +292,19 @@ func TestTwoBranchSplitsAndConcats(t *testing.T) {
 	a := NewNetwork(NewDense(2, 3, rng))
 	b := NewNetwork() // identity
 	tb := NewTwoBranch(2, a, b, 3)
-	out := tb.Forward([][]float64{{1, 2, 9, 8}})
-	if len(out[0]) != 5 {
-		t.Fatalf("two-branch output width %d, want 5", len(out[0]))
+	out := tb.Forward(row1([]float64{1, 2, 9, 8}))
+	if out.Cols != 5 {
+		t.Fatalf("two-branch output width %d, want 5", out.Cols)
 	}
-	if out[0][3] != 9 || out[0][4] != 8 {
-		t.Errorf("identity tail mangled: %v", out[0])
+	if out.At(0, 3) != 9 || out.At(0, 4) != 8 {
+		t.Errorf("identity tail mangled: %v", out.Row(0))
 	}
-	grads := tb.Backward([][]float64{{1, 1, 1, 7, 6}})
-	if len(grads[0]) != 4 {
-		t.Fatalf("two-branch input grad width %d, want 4", len(grads[0]))
+	grads := tb.Backward(row1([]float64{1, 1, 1, 7, 6}))
+	if grads.Cols != 4 {
+		t.Fatalf("two-branch input grad width %d, want 4", grads.Cols)
 	}
-	if grads[0][2] != 7 || grads[0][3] != 6 {
-		t.Errorf("identity grads mangled: %v", grads[0])
+	if grads.At(0, 2) != 7 || grads.At(0, 3) != 6 {
+		t.Errorf("identity grads mangled: %v", grads.Row(0))
 	}
 }
 

@@ -18,4 +18,10 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (race) =="
+# One iteration of every kernel/training benchmark under the race
+# detector: proves the GEMM backbone and the nn layers execute their
+# parallel paths cleanly, without paying for a full benchmark run.
+go test -race -run='^$' -bench=. -benchtime=1x ./internal/linalg/ ./internal/ml/nn/
+
 echo "all checks passed"
