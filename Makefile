@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-kernels fuzz
+.PHONY: build test vet race check serve-smoke bench bench-kernels fuzz
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,9 @@ race:
 
 check:
 	sh scripts/check.sh
+
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,6 +2,7 @@ package stencilmart
 
 import (
 	"io"
+	"time"
 
 	"stencilmart/internal/baseline"
 	"stencilmart/internal/codegen"
@@ -11,6 +12,7 @@ import (
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
 	"stencilmart/internal/profile"
+	"stencilmart/internal/serve"
 	"stencilmart/internal/sim"
 	"stencilmart/internal/stencil"
 	"stencilmart/internal/tensor"
@@ -183,6 +185,35 @@ func FromDataset(cfg Config, ds *Dataset) (*Framework, error) {
 
 // ReadDataset deserializes a profiled dataset.
 func ReadDataset(r io.Reader) (*Dataset, error) { return profile.ReadJSON(r) }
+
+// SmokeConfig returns the smallest useful preset — sized for CI smoke
+// tests of the train/checkpoint/serve path.
+func SmokeConfig() Config { return core.SmokeConfig() }
+
+// ServePrediction is the one-shot inference result for an unseen
+// stencil (class, tuned parameters, cross-GPU times, rent advice).
+type ServePrediction = core.ServePrediction
+
+// RentAdvice is the cross-GPU verdict attached to a ServePrediction.
+type RentAdvice = core.RentAdvice
+
+// LoadFramework rehydrates a checkpointed framework (see
+// Framework.TrainAll and Framework.Save); the result predicts bitwise
+// identically to the framework that saved it, without re-profiling.
+func LoadFramework(r io.Reader) (*Framework, error) { return core.LoadFramework(r) }
+
+// LoadFrameworkFile rehydrates a checkpoint from disk.
+func LoadFrameworkFile(path string) (*Framework, error) { return core.LoadFrameworkFile(path) }
+
+// PredictionServer serves a trained framework over HTTP (POST /predict,
+// GET /healthz, GET /statsz).
+type PredictionServer = serve.Server
+
+// NewPredictionServer wraps a trained framework in an HTTP prediction
+// service; timeout <= 0 selects the default per-request budget.
+func NewPredictionServer(fw *Framework, timeout time.Duration) (*PredictionServer, error) {
+	return serve.New(fw, timeout)
+}
 
 // Baseline strategies (Sec. V-B2).
 var (

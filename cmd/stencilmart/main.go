@@ -7,7 +7,10 @@
 //
 //	stencilmart gen        -dims 2 -n 10 -seed 1
 //	stencilmart profile    -out dataset.json [-preset paper]
+//	stencilmart train      -dataset dataset.json -out model.ckpt
 //	stencilmart predict    -dataset dataset.json -stencil star2d2r -gpu V100
+//	stencilmart predict    -model model.ckpt -stencil star2d2r -gpu V100
+//	stencilmart serve      -model model.ckpt -addr :8080
 //	stencilmart rent       -dataset dataset.json -dims 2 [-cost]
 //	stencilmart simulate   -stencil box3d2r -gpu A100 -oc ST_RT_PR
 //	stencilmart experiment -id fig9 [-preset paper]
@@ -15,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"stencilmart/internal/codegen"
 	"stencilmart/internal/core"
@@ -27,6 +33,7 @@ import (
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
 	"stencilmart/internal/profile"
+	"stencilmart/internal/serve"
 	"stencilmart/internal/sim"
 	"stencilmart/internal/stencil"
 	"stencilmart/internal/tensor"
@@ -44,8 +51,12 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "rent":
 		err = cmdRent(os.Args[2:])
 	case "simulate":
@@ -75,7 +86,9 @@ func usage() {
 commands:
   gen         generate random neighbor-chained stencils (Algorithm 1)
   profile     profile a random corpus on every GPU and write the dataset
+  train       train every serving model and write a checkpoint
   predict     predict the best optimization combination for a stencil
+  serve       serve predictions over HTTP from a trained checkpoint
   rent        run the cloud-rental advisor (pure performance or cost)
   simulate    run one kernel configuration on the simulated GPU
   codegen     emit the CUDA kernel source for a stencil under an OC
@@ -93,8 +106,10 @@ func configFromPreset(preset string, seed int64) (core.Config, error) {
 		cfg = core.DefaultConfig()
 	case "paper":
 		cfg = core.PaperConfig()
+	case "smoke":
+		cfg = core.SmokeConfig()
 	default:
-		return core.Config{}, fmt.Errorf("unknown preset %q (default, paper)", preset)
+		return core.Config{}, fmt.Errorf("unknown preset %q (default, paper, smoke)", preset)
 	}
 	if seed != 0 {
 		cfg.Seed = seed
@@ -205,9 +220,75 @@ func loadFramework(path, preset string, seed int64) (*core.Framework, error) {
 	return core.FromDataset(cfg, ds, nil)
 }
 
+// cmdTrain trains every serving model on a profiled dataset and writes
+// the checkpoint a later predict/serve rehydrates without re-profiling.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataset := fs.String("dataset", "", "profiled dataset (from 'profile'); empty = build fresh")
+	out := fs.String("out", "model.ckpt", "checkpoint output path")
+	mech := fs.String("classifier", "GBDT", "classifier (GBDT, ConvNet, FcNet)")
+	regMech := fs.String("regressor", "GBRegressor", "regressor (GBRegressor, MLP, ConvMLP)")
+	preset := fs.String("preset", "default", "pipeline preset (default, paper, smoke)")
+	seed := fs.Int64("seed", 0, "override pipeline seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ck, err := parseClassifier(*mech)
+	if err != nil {
+		return err
+	}
+	rk, err := core.ParseRegressorKind(*regMech)
+	if err != nil {
+		return err
+	}
+	fw, err := loadFramework(*dataset, *preset, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s classifiers and %s regressors on %d stencils...\n",
+		ck, rk, len(fw.Dataset.Stencils))
+	if err := fw.TrainAll(ck, rk); err != nil {
+		return err
+	}
+	if err := fw.SaveFile(*out); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, st.Size())
+	return nil
+}
+
+// cmdServe loads a checkpoint and serves predictions over HTTP until
+// SIGTERM/SIGINT.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "model.ckpt", "trained checkpoint (from 'train')")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request prediction timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := core.LoadFrameworkFile(*model)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(fw, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	return srv.Run(ctx, *addr, logf)
+}
+
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	dataset := fs.String("dataset", "", "profiled dataset (from 'profile'); empty = build fresh")
+	model := fs.String("model", "", "trained checkpoint (from 'train'); skips retraining")
 	name := fs.String("stencil", "star2d1r", "classic stencil name (e.g. box3d2r)")
 	gpuName := fs.String("gpu", "V100", "target GPU")
 	mech := fs.String("mechanism", "GBDT", "classifier (GBDT, ConvNet, FcNet)")
@@ -216,11 +297,14 @@ func cmdPredict(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fw, err := loadFramework(*dataset, *preset, *seed)
+	s, err := stencil.ByName(*name)
 	if err != nil {
 		return err
 	}
-	s, err := stencil.ByName(*name)
+	if *model != "" {
+		return predictFromCheckpoint(*model, *gpuName, s)
+	}
+	fw, err := loadFramework(*dataset, *preset, *seed)
 	if err != nil {
 		return err
 	}
@@ -256,17 +340,38 @@ func cmdPredict(args []string) error {
 	return nil
 }
 
-func parseClassifier(name string) (core.ClassifierKind, error) {
-	switch name {
-	case "GBDT":
-		return core.ClassGBDT, nil
-	case "ConvNet":
-		return core.ClassConvNet, nil
-	case "FcNet":
-		return core.ClassFcNet, nil
-	default:
-		return 0, fmt.Errorf("unknown classifier %q (GBDT, ConvNet, FcNet)", name)
+// predictFromCheckpoint runs the full serving path against a trained
+// checkpoint: class, tuned parameters, cross-GPU times, rent advice.
+func predictFromCheckpoint(path, gpuName string, s stencil.Stencil) error {
+	fw, err := core.LoadFrameworkFile(path)
+	if err != nil {
+		return err
 	}
+	pred, err := fw.ServePredict(gpuName, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted best OC for %s on %s: %s (class %d)\n", s, gpuName, pred.OC, pred.Class)
+	fmt.Printf("tuned params: %+v\n", pred.Params)
+	fmt.Printf("simulated time on %s: %.3f ms\n", gpuName, pred.TunedSeconds*1e3)
+	fmt.Println("predicted times across the catalog:")
+	for i, name := range pred.ArchNames {
+		fmt.Printf("  %-7s %.3f ms\n", name, pred.PredictedSeconds[i]*1e3)
+	}
+	adv := pred.Advice
+	if adv.Rent {
+		fmt.Printf("advice: rent %s (predicted %.2fx faster than %s)\n", adv.BestArch, adv.Speedup, adv.Target)
+	} else {
+		fmt.Printf("advice: stay on %s (predicted fastest)\n", adv.Target)
+	}
+	if adv.BestCostArch != "" {
+		fmt.Printf("most cost-efficient rentable GPU: %s\n", adv.BestCostArch)
+	}
+	return nil
+}
+
+func parseClassifier(name string) (core.ClassifierKind, error) {
+	return core.ParseClassifierKind(name)
 }
 
 func cmdRent(args []string) error {

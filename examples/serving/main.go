@@ -1,0 +1,120 @@
+// Serving: the deploy-side half of train-once/predict-cheaply.
+//
+// It builds and trains a small framework, checkpoints it to disk,
+// rehydrates the checkpoint (no re-profiling, no re-training), starts
+// the HTTP prediction service on a random port, and queries it the way
+// a deployment would — including a stencil the framework never saw.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"stencilmart"
+)
+
+func main() {
+	// 1. Train once: every classifier (per GPU x dimensionality) and
+	// every regressor (per dimensionality) on the full corpus.
+	cfg := stencilmart.SmokeConfig()
+	fmt.Println("building and training a smoke-sized framework...")
+	fw, err := stencilmart.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.TrainAll(stencilmart.ClassGBDT, stencilmart.RegGB); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Checkpoint: a versioned, checksummed, stdlib-JSON envelope.
+	dir, err := os.MkdirTemp("", "stencilmart-serving-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "model.ckpt")
+	if err := fw.SaveFile(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(ckpt)
+	fmt.Printf("checkpoint: %s (%d bytes)\n", ckpt, st.Size())
+
+	// 3. Rehydrate: the loaded framework predicts bitwise identically to
+	// the one that trained, with no profiling or training.
+	loaded, err := stencilmart.LoadFrameworkFile(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Serve over HTTP.
+	srv, err := stencilmart.NewPredictionServer(loaded, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	go func() {
+		logf := func(format string, args ...any) {
+			line := fmt.Sprintf(format, args...)
+			if strings.HasPrefix(line, "serving on ") {
+				addrCh <- strings.TrimPrefix(line, "serving on ")
+			}
+		}
+		if err := srv.Run(ctx, "127.0.0.1:0", logf); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	base := <-addrCh
+	fmt.Println("service at", base)
+
+	// 5. Query it like a deployment would — a named classic stencil and
+	// a custom pattern spelled as raw offsets.
+	for _, body := range []string{
+		`{"stencil":"star3d2r","gpu":"V100"}`,
+		`{"name":"my-kernel","dims":2,"points":[[0,0,0],[2,0,0],[-2,0,0],[0,1,0],[0,-1,0],[1,1,0]],"gpu":"2080Ti"}`,
+	} {
+		resp, err := http.Post(base+"/predict", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pred stencilmart.ServePrediction
+		if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("\n%s on %s:\n", pred.Stencil, pred.GPU)
+		fmt.Printf("  predicted OC: %s, tuned %.3f ms\n", pred.OC, pred.TunedSeconds*1e3)
+		for i, name := range pred.ArchNames {
+			fmt.Printf("  %-7s %.3f ms predicted\n", name, pred.PredictedSeconds[i]*1e3)
+		}
+		if pred.Advice.Rent {
+			fmt.Printf("  advice: rent %s (%.2fx faster)\n", pred.Advice.BestArch, pred.Advice.Speedup)
+		} else {
+			fmt.Printf("  advice: stay on %s\n", pred.Advice.Target)
+		}
+	}
+
+	// 6. The stats page shows the sim memo cache doing the serving work.
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats map[string]any
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	fmt.Println("\n/statsz:", stats["sim_cache"])
+
+	cancel()
+	time.Sleep(100 * time.Millisecond) // let the shutdown line print
+}

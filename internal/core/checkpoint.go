@@ -1,0 +1,717 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/merge"
+	"stencilmart/internal/ml"
+	"stencilmart/internal/ml/nn"
+	"stencilmart/internal/ml/tree"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/par"
+	"stencilmart/internal/persist"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/tuner"
+)
+
+// CheckpointKind and CheckpointVersion frame the framework checkpoint in
+// the persist envelope. Version bumps whenever the payload schema below
+// changes incompatibly (see the persist package's versioning policy).
+const (
+	CheckpointKind    = "stencilmart-framework"
+	CheckpointVersion = 1
+)
+
+// ParseClassifierKind resolves a mechanism name (GBDT, ConvNet, FcNet).
+func ParseClassifierKind(name string) (ClassifierKind, error) {
+	for _, k := range ClassifierKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown classifier %q (GBDT, ConvNet, FcNet)", name)
+}
+
+// ParseRegressorKind resolves a mechanism name (GBRegressor, MLP, ConvMLP).
+func ParseRegressorKind(name string) (RegressorKind, error) {
+	for _, k := range RegressorKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown regressor %q (GBRegressor, MLP, ConvMLP)", name)
+}
+
+// Trained holds the full-corpus models TrainAll fits: one classifier per
+// (catalog GPU, dimensionality) and one regressor per dimensionality.
+// These are the deployed models a checkpoint persists — the train-once
+// half of the paper's train-once/predict-cheaply contract.
+type Trained struct {
+	ClassifierKind ClassifierKind
+	RegressorKind  RegressorKind
+	// Classifiers maps arch name → dims → fitted model.
+	Classifiers map[string]map[int]ml.Classifier
+	// Regressors maps dims → fitted cross-architecture regressor.
+	Regressors map[int]*TrainedRegressor
+}
+
+// trainDims lists the dimensionalities with corpus support.
+func (f *Framework) trainDims() []int {
+	var out []int
+	for _, d := range []int{2, 3} {
+		if len(f.StencilIndices(d)) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// classifierSeed derives the deterministic training seed for one
+// (arch, dims) classifier.
+func (f *Framework) classifierSeed(archIdx, dims int) int64 {
+	return f.Cfg.Seed + 10000 + int64(archIdx)*100 + int64(dims)
+}
+
+// regressorSeed derives the deterministic training seed for one dims
+// regressor.
+func (f *Framework) regressorSeed(dims int) int64 {
+	return f.Cfg.Seed + 20000 + int64(dims)
+}
+
+// TrainAll fits the serving models on the full corpus: the chosen
+// classifier mechanism for every (catalog GPU, dimensionality) pair and
+// the chosen regressor mechanism per dimensionality, stored on the
+// framework for ServePredict and Save. Cells train concurrently on the
+// shared pool; each owns its model and derives its own seed, so the
+// fitted set is identical to a serial loop under any GOMAXPROCS.
+func (f *Framework) TrainAll(ck ClassifierKind, rk RegressorKind) error {
+	dims := f.trainDims()
+	if len(dims) == 0 {
+		return fmt.Errorf("core: empty corpus, nothing to train")
+	}
+	f.Trained = nil // invalidate any previous set while retraining
+	tr := &Trained{
+		ClassifierKind: ck,
+		RegressorKind:  rk,
+		Classifiers:    make(map[string]map[int]ml.Classifier),
+		Regressors:     make(map[int]*TrainedRegressor),
+	}
+
+	type cell struct{ archIdx, dims int }
+	var cells []cell
+	for ai := range f.Dataset.Archs {
+		for _, d := range dims {
+			cells = append(cells, cell{ai, d})
+		}
+	}
+	classifiers, err := par.Map(context.Background(), len(cells), 0, func(i int) (ml.Classifier, error) {
+		c := cells[i]
+		cls, _, err := f.TrainClassifier(ck, c.archIdx, c.dims, f.StencilIndices(c.dims), f.classifierSeed(c.archIdx, c.dims))
+		return cls, err
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cells {
+		name := f.Dataset.Archs[c.archIdx].Name
+		if tr.Classifiers[name] == nil {
+			tr.Classifiers[name] = make(map[int]ml.Classifier)
+		}
+		tr.Classifiers[name][c.dims] = classifiers[i]
+	}
+
+	regressors, err := par.Map(context.Background(), len(dims), 0, func(i int) (*TrainedRegressor, error) {
+		d := dims[i]
+		return f.TrainRegressor(rk, d, f.dimsInstances(d), f.regressorSeed(d))
+	})
+	if err != nil {
+		return err
+	}
+	for i, d := range dims {
+		tr.Regressors[d] = regressors[i]
+	}
+	f.Trained = tr
+	return nil
+}
+
+// requireTrained returns the trained set or a descriptive error.
+func (f *Framework) requireTrained() (*Trained, error) {
+	if f.Trained == nil {
+		return nil, fmt.Errorf("core: framework has no trained models (run TrainAll or load a checkpoint)")
+	}
+	return f.Trained, nil
+}
+
+// PredictClassTrained scores an arbitrary stencil with the checkpointed
+// classifier for the named GPU, returning the merged class and the
+// per-class probabilities. No training runs. Callers sharing a framework
+// across goroutines must serialize calls (nn models reuse forward
+// scratch).
+func (f *Framework) PredictClassTrained(archName string, s stencil.Stencil) (int, []float64, error) {
+	tr, err := f.requireTrained()
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return 0, nil, err
+	}
+	byDims, ok := tr.Classifiers[archName]
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no trained classifier for GPU %q", archName)
+	}
+	cls, ok := byDims[s.Dims]
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no trained %d-D classifier for GPU %q", s.Dims, archName)
+	}
+	row := classEncode(tr.ClassifierKind, s)
+	proba := ml.PredictProbaAll(cls, [][]float64{row})[0]
+	return ml.ArgMax(proba), proba, nil
+}
+
+// PredictStencilSeconds predicts execution times for one (stencil, OC,
+// params) triple on every given architecture in a single batched forward
+// pass — the cross-GPU query behind the rent advisor. Rows build directly
+// from the stencil, so unseen stencils (not in the training dataset) are
+// first-class inputs.
+func (t *TrainedRegressor) PredictStencilSeconds(s stencil.Stencil, oc opt.Opt, p opt.Params, archs []gpu.Arch) []float64 {
+	rows := make([][]float64, len(archs))
+	for i, a := range archs {
+		var row []float64
+		if t.kind.usesTensor() {
+			row = regTensorRow(s, oc, p, a)
+		} else {
+			row = regFeatureRow(s, oc, p, a)
+		}
+		rows[i] = t.xScale.apply(row)
+	}
+	vals := ml.PredictValueAll(t.model, rows)
+	for i, v := range vals {
+		if t.kind.usesScaling() {
+			v = t.yScale.invert(v)
+		}
+		vals[i] = regInvert(v)
+	}
+	return vals
+}
+
+// RentAdvice is the cross-GPU verdict for one prediction: which catalog
+// GPU the regressor expects to run the tuned kernel fastest, and which
+// rentable GPU minimizes time x rental price (the Figs. 14-15 metrics).
+type RentAdvice struct {
+	// Target echoes the requested GPU and its predicted seconds.
+	Target        string  `json:"target"`
+	TargetSeconds float64 `json:"target_seconds"`
+	// BestArch is the predicted-fastest GPU across the catalog.
+	BestArch    string  `json:"best_arch"`
+	BestSeconds float64 `json:"best_seconds"`
+	// Speedup is TargetSeconds / BestSeconds (1 means the target already
+	// wins).
+	Speedup float64 `json:"speedup"`
+	// BestCostArch minimizes seconds x $/hr among rentable GPUs; empty
+	// when no catalog GPU has a rental price.
+	BestCostArch string `json:"best_cost_arch,omitempty"`
+	// BestCostValue is that minimal seconds x $/hr product.
+	BestCostValue float64 `json:"best_cost_value,omitempty"`
+	// Rent is the verdict: true when a different GPU than the target is
+	// predicted to be faster.
+	Rent bool `json:"rent"`
+}
+
+// ServePrediction is the one-shot inference result for an unseen stencil:
+// everything the prediction service returns from a single request.
+type ServePrediction struct {
+	Stencil string    `json:"stencil"`
+	GPU     string    `json:"gpu"`
+	Class   int       `json:"class"`
+	Proba   []float64 `json:"proba"`
+	// OC is the representative optimization combination of the predicted
+	// class (after crash fallback across classes).
+	OC string `json:"oc"`
+	// Params is the best parameter setting found for OC on the target GPU
+	// under the configured search budget.
+	Params opt.Params `json:"params"`
+	// TunedSeconds is the simulated execution time of (OC, Params) on the
+	// target GPU.
+	TunedSeconds float64 `json:"tuned_seconds"`
+	// ArchNames and PredictedSeconds are the regressor's cross-GPU times
+	// for the tuned kernel, index-aligned.
+	ArchNames        []string   `json:"arch_names"`
+	PredictedSeconds []float64  `json:"predicted_seconds"`
+	Advice           RentAdvice `json:"advice"`
+}
+
+// requestSeed derives a deterministic tuning seed from the request so
+// identical requests tune identically (and hit the sim memo cache).
+func requestSeed(base int64, archName string, s stencil.Stencil) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, archName)
+	io.WriteString(h, s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(h, "|%d,%d,%d", p.Dx, p.Dy, p.Dz)
+	}
+	return base + int64(h.Sum64()&0x7fffffff)
+}
+
+// ServePredict runs the full predict-cheaply path against the trained
+// models: classify the stencil, tune the predicted class's representative
+// OC on the target GPU (falling back through lower-probability classes if
+// every setting of a representative crashes), predict the tuned kernel's
+// time on every catalog GPU in one batched regressor pass, and derive the
+// rent-or-not verdict. Not safe for concurrent use on one framework — the
+// serving layer serializes.
+func (f *Framework) ServePredict(archName string, s stencil.Stencil) (*ServePrediction, error) {
+	tr, err := f.requireTrained()
+	if err != nil {
+		return nil, err
+	}
+	_, arch, err := f.ArchByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	class, proba, err := f.PredictClassTrained(archName, s)
+	if err != nil {
+		return nil, err
+	}
+	reg, ok := tr.Regressors[s.Dims]
+	if !ok {
+		return nil, fmt.Errorf("core: no trained %d-D regressor", s.Dims)
+	}
+
+	// Tune the representative OC of the most probable class; fall back
+	// through the class order when every sampled setting crashes.
+	w := sim.DefaultWorkload(s)
+	seed := requestSeed(f.Cfg.Seed, archName, s)
+	var (
+		chosen opt.Opt
+		best   tuner.Result
+		tuned  bool
+	)
+	for _, c := range classOrder(proba) {
+		oc := f.Grouping.RepOC(c)
+		res, err := (tuner.Random{}).Tune(f.Model, w, oc, arch, f.Cfg.SamplesPerOC, seed)
+		if err == nil {
+			chosen, best, tuned = oc, res, true
+			break
+		}
+	}
+	if !tuned {
+		return nil, fmt.Errorf("core: no runnable OC for %s on %s", s.Name, archName)
+	}
+
+	archs := f.Dataset.Archs
+	times := reg.PredictStencilSeconds(s, chosen, best.Params, archs)
+	names := make([]string, len(archs))
+	for i, a := range archs {
+		names[i] = a.Name
+	}
+
+	return &ServePrediction{
+		Stencil:          s.Name,
+		GPU:              archName,
+		Class:            class,
+		Proba:            proba,
+		OC:               chosen.String(),
+		Params:           best.Params,
+		TunedSeconds:     best.Time,
+		ArchNames:        names,
+		PredictedSeconds: times,
+		Advice:           rentAdvice(archName, archs, times),
+	}, nil
+}
+
+// rentAdvice derives the cross-GPU verdict from index-aligned predicted
+// times.
+func rentAdvice(target string, archs []gpu.Arch, times []float64) RentAdvice {
+	adv := RentAdvice{Target: target, BestCostValue: math.Inf(1)}
+	best := math.Inf(1)
+	for i, a := range archs {
+		if a.Name == target {
+			adv.TargetSeconds = times[i]
+		}
+		if times[i] < best {
+			best = times[i]
+			adv.BestArch = a.Name
+			adv.BestSeconds = times[i]
+		}
+		if a.HasRental() {
+			if v := times[i] * a.RentalPerHour; v < adv.BestCostValue {
+				adv.BestCostValue = v
+				adv.BestCostArch = a.Name
+			}
+		}
+	}
+	if math.IsInf(adv.BestCostValue, 1) {
+		adv.BestCostValue = 0
+	}
+	if adv.BestSeconds > 0 {
+		adv.Speedup = adv.TargetSeconds / adv.BestSeconds
+	}
+	adv.Rent = adv.BestArch != "" && adv.BestArch != target
+	return adv
+}
+
+// --- checkpoint serialization ---------------------------------------------
+
+// savedModel is the tagged union of serialized model states. Exactly one
+// branch is set, named by Kind.
+type savedModel struct {
+	Kind  string                 `json:"kind"` // "gbdt", "gbreg", or "nn"
+	GBDT  *tree.GBDTState        `json:"gbdt,omitempty"`
+	GBReg *tree.GBRegressorState `json:"gbreg,omitempty"`
+	// NN holds the flat weight blocks of a network model; the
+	// architecture itself is rebuilt deterministically from Config, so
+	// the checkpoint stays free of layer-graph encodings.
+	NN [][]float64 `json:"nn,omitempty"`
+}
+
+type savedClassifier struct {
+	Arch  string     `json:"arch"`
+	Dims  int        `json:"dims"`
+	Model savedModel `json:"model"`
+}
+
+type savedRegressor struct {
+	Dims   int        `json:"dims"`
+	XScale []float64  `json:"xscale,omitempty"`
+	YMean  float64    `json:"ymean"`
+	YStd   float64    `json:"ystd"`
+	Model  savedModel `json:"model"`
+}
+
+// schemaEntry records the input-row widths the models were trained
+// against for one dimensionality. Load recomputes the widths from the
+// current encoders and refuses checkpoints that disagree — feature-set
+// drift between builds must fail loudly, not mispredict.
+type schemaEntry struct {
+	Dims       int `json:"dims"`
+	ClassWidth int `json:"class_width"`
+	RegWidth   int `json:"reg_width"`
+}
+
+// checkpointPayload is the version-1 framework checkpoint schema.
+type checkpointPayload struct {
+	Config         Config            `json:"config"`
+	Dataset        json.RawMessage   `json:"dataset"`
+	Grouping       merge.Grouping    `json:"grouping"`
+	Schema         []schemaEntry     `json:"schema"`
+	ClassifierKind string            `json:"classifier_kind"`
+	RegressorKind  string            `json:"regressor_kind"`
+	Classifiers    []savedClassifier `json:"classifiers"`
+	Regressors     []savedRegressor  `json:"regressors"`
+}
+
+// featureSchema computes the current encoders' row widths per trained
+// dimensionality.
+func (f *Framework) featureSchema(ck ClassifierKind, rk RegressorKind) []schemaEntry {
+	var out []schemaEntry
+	for _, d := range f.trainDims() {
+		probe := f.Dataset.Stencils[f.StencilIndices(d)[0]]
+		e := schemaEntry{Dims: d, ClassWidth: len(classEncode(ck, probe))}
+		if rk.usesTensor() {
+			e.RegWidth = len(classTensorRow(probe)) + regTailWidth
+		} else {
+			e.RegWidth = len(classFeatureRow(probe)) + regTailWidth
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// snapshotClassifier serializes one fitted classifier.
+func snapshotClassifier(cls ml.Classifier) (savedModel, error) {
+	switch m := cls.(type) {
+	case *tree.GBDT:
+		st := m.State()
+		return savedModel{Kind: "gbdt", GBDT: &st}, nil
+	case *nn.Classifier:
+		return savedModel{Kind: "nn", NN: m.Net.WeightSnapshot()}, nil
+	default:
+		return savedModel{}, fmt.Errorf("core: classifier %T cannot be serialized", cls)
+	}
+}
+
+// snapshotRegressor serializes one fitted regressor model.
+func snapshotRegressor(reg ml.Regressor) (savedModel, error) {
+	switch m := reg.(type) {
+	case *tree.GBRegressor:
+		st := m.State()
+		return savedModel{Kind: "gbreg", GBReg: &st}, nil
+	case *nn.Regressor:
+		return savedModel{Kind: "nn", NN: m.Net.WeightSnapshot()}, nil
+	default:
+		return savedModel{}, fmt.Errorf("core: regressor %T cannot be serialized", reg)
+	}
+}
+
+// Save checkpoints the framework — configuration, dataset, OC grouping,
+// feature schema, and every trained model — inside a versioned,
+// checksummed persist envelope. The framework must have been trained
+// (TrainAll) first. A saved-then-loaded framework predicts bitwise
+// identically to the in-memory one.
+func (f *Framework) Save(w io.Writer) error {
+	tr, err := f.requireTrained()
+	if err != nil {
+		return err
+	}
+	var dsBuf bytes.Buffer
+	if err := f.Dataset.WriteJSON(&dsBuf); err != nil {
+		return err
+	}
+	payload := checkpointPayload{
+		Config:         f.Cfg,
+		Dataset:        dsBuf.Bytes(),
+		Grouping:       f.Grouping,
+		Schema:         f.featureSchema(tr.ClassifierKind, tr.RegressorKind),
+		ClassifierKind: tr.ClassifierKind.String(),
+		RegressorKind:  tr.RegressorKind.String(),
+	}
+	// Serialize in deterministic order: dataset arch order, dims ascending.
+	for _, a := range f.Dataset.Archs {
+		for _, d := range f.trainDims() {
+			cls, ok := tr.Classifiers[a.Name][d]
+			if !ok {
+				return fmt.Errorf("core: trained set missing %d-D classifier for %s", d, a.Name)
+			}
+			sm, err := snapshotClassifier(cls)
+			if err != nil {
+				return err
+			}
+			payload.Classifiers = append(payload.Classifiers, savedClassifier{Arch: a.Name, Dims: d, Model: sm})
+		}
+	}
+	for _, d := range f.trainDims() {
+		reg, ok := tr.Regressors[d]
+		if !ok {
+			return fmt.Errorf("core: trained set missing %d-D regressor", d)
+		}
+		sm, err := snapshotRegressor(reg.model)
+		if err != nil {
+			return err
+		}
+		payload.Regressors = append(payload.Regressors, savedRegressor{
+			Dims:   d,
+			XScale: reg.xScale.scale,
+			YMean:  reg.yScale.mean,
+			YStd:   reg.yScale.std,
+			Model:  sm,
+		})
+	}
+	return persist.Write(w, CheckpointKind, CheckpointVersion, payload)
+}
+
+// restoreClassifier rehydrates one classifier, validating that the stored
+// model matches the declared mechanism and the grouping's class count.
+func (f *Framework) restoreClassifier(ck ClassifierKind, sc savedClassifier) (ml.Classifier, error) {
+	classes := f.Grouping.NumClasses()
+	if ck == ClassGBDT {
+		if sc.Model.Kind != "gbdt" || sc.Model.GBDT == nil {
+			return nil, fmt.Errorf("core: %s/%d-D classifier holds %q state, want gbdt", sc.Arch, sc.Dims, sc.Model.Kind)
+		}
+		g, err := tree.GBDTFromState(*sc.Model.GBDT)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%d-D classifier: %w", sc.Arch, sc.Dims, err)
+		}
+		if g.NumClasses() != classes {
+			return nil, fmt.Errorf("core: %s/%d-D classifier has %d classes, grouping has %d", sc.Arch, sc.Dims, g.NumClasses(), classes)
+		}
+		return g, nil
+	}
+	if sc.Model.Kind != "nn" || sc.Model.NN == nil {
+		return nil, fmt.Errorf("core: %s/%d-D classifier holds %q state, want nn", sc.Arch, sc.Dims, sc.Model.Kind)
+	}
+	archIdx, err := f.Dataset.ArchIndex(sc.Arch)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := f.newClassifier(ck, sc.Dims, f.classifierSeed(archIdx, sc.Dims))
+	if err != nil {
+		return nil, err
+	}
+	c, ok := cls.(*nn.Classifier)
+	if !ok {
+		return nil, fmt.Errorf("core: %s rebuilt as %T, want *nn.Classifier", ck, cls)
+	}
+	if err := c.Net.LoadWeights(sc.Model.NN); err != nil {
+		return nil, fmt.Errorf("core: %s/%d-D classifier: %w", sc.Arch, sc.Dims, err)
+	}
+	c.SetClasses(classes)
+	return c, nil
+}
+
+// restoreRegressor rehydrates one regressor with its scalers.
+func (f *Framework) restoreRegressor(rk RegressorKind, sr savedRegressor, regWidth int) (*TrainedRegressor, error) {
+	tr := &TrainedRegressor{
+		kind:   rk,
+		f:      f,
+		xScale: columnScaler{scale: sr.XScale},
+		yScale: targetScaler{mean: sr.YMean, std: sr.YStd},
+	}
+	if rk.usesScaling() && len(sr.XScale) != regWidth {
+		return nil, fmt.Errorf("core: %d-D regressor has %d-column scaler, schema width is %d", sr.Dims, len(sr.XScale), regWidth)
+	}
+	if rk == RegGB {
+		if sr.Model.Kind != "gbreg" || sr.Model.GBReg == nil {
+			return nil, fmt.Errorf("core: %d-D regressor holds %q state, want gbreg", sr.Dims, sr.Model.Kind)
+		}
+		g, err := tree.GBRegressorFromState(*sr.Model.GBReg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %d-D regressor: %w", sr.Dims, err)
+		}
+		tr.model = g
+		return tr, nil
+	}
+	if sr.Model.Kind != "nn" || sr.Model.NN == nil {
+		return nil, fmt.Errorf("core: %d-D regressor holds %q state, want nn", sr.Dims, sr.Model.Kind)
+	}
+	model, err := f.newRegressor(rk, sr.Dims, regWidth, f.regressorSeed(sr.Dims))
+	if err != nil {
+		return nil, err
+	}
+	r, ok := model.(*nn.Regressor)
+	if !ok {
+		return nil, fmt.Errorf("core: %s rebuilt as %T, want *nn.Regressor", rk, model)
+	}
+	if err := r.Net.LoadWeights(sr.Model.NN); err != nil {
+		return nil, fmt.Errorf("core: %d-D regressor: %w", sr.Dims, err)
+	}
+	tr.model = r
+	return tr, nil
+}
+
+// LoadFramework rehydrates a checkpointed framework: envelope checks
+// (magic, kind, version, checksum) happen first in the persist layer,
+// then the dataset, grouping, config, feature schema, and every model
+// shape are validated before any prediction can run. The returned
+// framework predicts bitwise identically to the one that saved the
+// checkpoint, without re-profiling or re-training.
+func LoadFramework(r io.Reader) (*Framework, error) {
+	var payload checkpointPayload
+	if err := persist.Read(r, CheckpointKind, CheckpointVersion, &payload); err != nil {
+		return nil, err
+	}
+	ds, err := profile.ReadJSON(bytes.NewReader(payload.Dataset))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint dataset: %w", err)
+	}
+	if err := payload.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint config: %w", err)
+	}
+	if err := payload.Grouping.Validate(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint grouping: %w", err)
+	}
+	ck, err := ParseClassifierKind(payload.ClassifierKind)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := ParseRegressorKind(payload.RegressorKind)
+	if err != nil {
+		return nil, err
+	}
+	f := &Framework{Cfg: payload.Config, Dataset: ds, Grouping: payload.Grouping, Model: sim.New()}
+
+	// The checkpoint's recorded feature widths must match this build's
+	// encoders exactly.
+	schema := f.featureSchema(ck, rk)
+	if len(schema) != len(payload.Schema) {
+		return nil, fmt.Errorf("core: checkpoint schema covers %d dims, this build has %d", len(payload.Schema), len(schema))
+	}
+	regWidth := make(map[int]int)
+	for i, e := range schema {
+		if payload.Schema[i] != e {
+			return nil, fmt.Errorf("core: feature schema mismatch for %d-D: checkpoint %+v, this build %+v",
+				e.Dims, payload.Schema[i], e)
+		}
+		regWidth[e.Dims] = e.RegWidth
+	}
+
+	tr := &Trained{
+		ClassifierKind: ck,
+		RegressorKind:  rk,
+		Classifiers:    make(map[string]map[int]ml.Classifier),
+		Regressors:     make(map[int]*TrainedRegressor),
+	}
+	for _, sc := range payload.Classifiers {
+		if _, err := ds.ArchIndex(sc.Arch); err != nil {
+			return nil, err
+		}
+		cls, err := f.restoreClassifier(ck, sc)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Classifiers[sc.Arch] == nil {
+			tr.Classifiers[sc.Arch] = make(map[int]ml.Classifier)
+		}
+		if _, dup := tr.Classifiers[sc.Arch][sc.Dims]; dup {
+			return nil, fmt.Errorf("core: duplicate %d-D classifier for %s", sc.Dims, sc.Arch)
+		}
+		tr.Classifiers[sc.Arch][sc.Dims] = cls
+	}
+	for _, sr := range payload.Regressors {
+		w, ok := regWidth[sr.Dims]
+		if !ok {
+			return nil, fmt.Errorf("core: checkpoint regressor for unknown dims %d", sr.Dims)
+		}
+		reg, err := f.restoreRegressor(rk, sr, w)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := tr.Regressors[sr.Dims]; dup {
+			return nil, fmt.Errorf("core: duplicate %d-D regressor", sr.Dims)
+		}
+		tr.Regressors[sr.Dims] = reg
+	}
+	// Coverage: every (arch, dims) cell and every dims regressor present.
+	for _, a := range ds.Archs {
+		for _, d := range f.trainDims() {
+			if tr.Classifiers[a.Name][d] == nil {
+				return nil, fmt.Errorf("core: checkpoint missing %d-D classifier for %s", d, a.Name)
+			}
+		}
+	}
+	for _, d := range f.trainDims() {
+		if tr.Regressors[d] == nil {
+			return nil, fmt.Errorf("core: checkpoint missing %d-D regressor", d)
+		}
+	}
+	f.Trained = tr
+	return f, nil
+}
+
+// SaveFile checkpoints the framework to a file atomically: the envelope
+// lands in a temporary sibling and renames into place.
+func (f *Framework) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := f.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFrameworkFile rehydrates a checkpoint from disk.
+func LoadFrameworkFile(path string) (*Framework, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return LoadFramework(fh)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"stencilmart/internal/persist"
+	"stencilmart/internal/stencil"
+)
+
+// ckptFramework builds one smoke-sized framework shared by the
+// checkpoint tests; TrainAll re-runs per mechanism pair on top of it.
+var (
+	ckptOnce sync.Once
+	ckptInst *Framework
+	ckptErr  error
+)
+
+func ckptFramework(t *testing.T) *Framework {
+	t.Helper()
+	ckptOnce.Do(func() {
+		ckptInst, ckptErr = Build(SmokeConfig())
+	})
+	if ckptErr != nil {
+		t.Fatal(ckptErr)
+	}
+	return ckptInst
+}
+
+// ckptProbes are unseen stencils (not generated corpus members) the
+// differential tests predict for.
+func ckptProbes() []stencil.Stencil {
+	return []stencil.Stencil{
+		stencil.Star(2, 2),
+		stencil.Box(2, 1),
+		stencil.Star(3, 3),
+		stencil.Box(3, 1),
+	}
+}
+
+func ckptSameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func ckptSameBitsSlice(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ckptSameBits(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSaveLoadBitwiseIdentical is the differential round-trip check the
+// checkpoint format promises: for every classifier and regressor
+// mechanism, a saved-then-loaded framework must reproduce the full
+// serving path — class, probabilities, tuned parameters, and cross-GPU
+// times — bitwise.
+func TestSaveLoadBitwiseIdentical(t *testing.T) {
+	fw := ckptFramework(t)
+	pairs := []struct {
+		ck ClassifierKind
+		rk RegressorKind
+	}{
+		{ClassGBDT, RegGB},
+		{ClassConvNet, RegMLP},
+		{ClassFcNet, RegConvMLP},
+	}
+	for _, pair := range pairs {
+		t.Run(pair.ck.String()+"_"+pair.rk.String(), func(t *testing.T) {
+			if err := fw.TrainAll(pair.ck, pair.rk); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := fw.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lf, err := LoadFramework(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range ckptProbes() {
+				for _, a := range fw.Dataset.Archs {
+					p1, err := fw.ServePredict(a.Name, s)
+					if err != nil {
+						t.Fatalf("%s on %s (original): %v", s.Name, a.Name, err)
+					}
+					p2, err := lf.ServePredict(a.Name, s)
+					if err != nil {
+						t.Fatalf("%s on %s (loaded): %v", s.Name, a.Name, err)
+					}
+					if p1.Class != p2.Class || p1.OC != p2.OC || p1.Params != p2.Params {
+						t.Fatalf("%s on %s: decision drift after reload:\n%+v\n%+v", s.Name, a.Name, p1, p2)
+					}
+					if !ckptSameBitsSlice(p1.Proba, p2.Proba) {
+						t.Fatalf("%s on %s: proba drift %v vs %v", s.Name, a.Name, p1.Proba, p2.Proba)
+					}
+					if !ckptSameBits(p1.TunedSeconds, p2.TunedSeconds) {
+						t.Fatalf("%s on %s: tuned time drift %g vs %g", s.Name, a.Name, p1.TunedSeconds, p2.TunedSeconds)
+					}
+					if !ckptSameBitsSlice(p1.PredictedSeconds, p2.PredictedSeconds) {
+						t.Fatalf("%s on %s: predicted times drift %v vs %v", s.Name, a.Name, p1.PredictedSeconds, p2.PredictedSeconds)
+					}
+					if p1.Advice != p2.Advice {
+						t.Fatalf("%s on %s: advice drift %+v vs %+v", s.Name, a.Name, p1.Advice, p2.Advice)
+					}
+				}
+			}
+		})
+	}
+}
+
+// tamperCheckpoint saves fw, applies mutate to the decoded payload, and
+// re-wraps it in a valid envelope (fresh checksum), so the failure under
+// test is the payload validation — not the checksum.
+func tamperCheckpoint(t *testing.T, fw *Framework, mutate func(*checkpointPayload)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var payload checkpointPayload
+	if err := persist.Read(bytes.NewReader(buf.Bytes()), CheckpointKind, CheckpointVersion, &payload); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&payload)
+	var out bytes.Buffer
+	if err := persist.Write(&out, CheckpointKind, CheckpointVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestLoadRejectsTamperedCheckpoints(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*checkpointPayload)
+		want   string
+	}{
+		{
+			name:   "schema width drift",
+			mutate: func(p *checkpointPayload) { p.Schema[0].ClassWidth++ },
+			want:   "feature schema mismatch",
+		},
+		{
+			name: "gbdt round missing a class tree",
+			mutate: func(p *checkpointPayload) {
+				st := p.Classifiers[0].Model.GBDT
+				st.Trees[0] = st.Trees[0][:len(st.Trees[0])-1]
+			},
+			want: "trees",
+		},
+		{
+			name: "gbdt tree child out of bounds",
+			mutate: func(p *checkpointPayload) {
+				nodes := p.Classifiers[0].Model.GBDT.Trees[0][0]
+				for i := range nodes {
+					if nodes[i].Left >= 0 {
+						nodes[i].Left = len(nodes) + 7
+						return
+					}
+				}
+				t.Fatal("no internal node to corrupt")
+			},
+			want: "outside",
+		},
+		{
+			name:   "classifier kind/state disagreement",
+			mutate: func(p *checkpointPayload) { p.Classifiers[0].Model.Kind = "nn" },
+			want:   "want gbdt",
+		},
+		{
+			name:   "unknown classifier mechanism",
+			mutate: func(p *checkpointPayload) { p.ClassifierKind = "XGBoost" },
+			want:   "unknown classifier",
+		},
+		{
+			name:   "missing regressor",
+			mutate: func(p *checkpointPayload) { p.Regressors = p.Regressors[:1] },
+			want:   "missing",
+		},
+		{
+			name:   "duplicate classifier cell",
+			mutate: func(p *checkpointPayload) { p.Classifiers = append(p.Classifiers, p.Classifiers[0]) },
+			want:   "duplicate",
+		},
+		{
+			name: "dataset corrupted",
+			mutate: func(p *checkpointPayload) {
+				p.Dataset = json.RawMessage(`[1,2,3]`)
+			},
+			want: "dataset",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tamperCheckpoint(t, fw, tc.mutate)
+			_, err := LoadFramework(bytes.NewReader(raw))
+			if err == nil {
+				t.Fatal("tampered checkpoint loaded cleanly")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadRejectsWrongNNShapes corrupts a network checkpoint's weight
+// blocks: a payload whose layer shapes disagree with the architecture
+// the config declares must fail at load, not mispredict.
+func TestLoadRejectsWrongNNShapes(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(ClassConvNet, RegMLP); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*checkpointPayload)
+	}{
+		{
+			name: "classifier block truncated",
+			mutate: func(p *checkpointPayload) {
+				nn := p.Classifiers[0].Model.NN
+				nn[0] = nn[0][:len(nn[0])-1]
+			},
+		},
+		{
+			name: "classifier block count wrong",
+			mutate: func(p *checkpointPayload) {
+				p.Classifiers[0].Model.NN = p.Classifiers[0].Model.NN[:1]
+			},
+		},
+		{
+			name: "regressor block padded",
+			mutate: func(p *checkpointPayload) {
+				nn := p.Regressors[0].Model.NN
+				nn[len(nn)-1] = append(nn[len(nn)-1], 0.5)
+			},
+		},
+		{
+			name: "regressor scaler width wrong",
+			mutate: func(p *checkpointPayload) {
+				p.Regressors[0].XScale = p.Regressors[0].XScale[:3]
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tamperCheckpoint(t, fw, tc.mutate)
+			if _, err := LoadFramework(bytes.NewReader(raw)); err == nil {
+				t.Fatal("shape-corrupted checkpoint loaded cleanly")
+			}
+		})
+	}
+}
+
+func TestTruncatedCheckpointFails(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, len(raw) / 3, len(raw) - 10} {
+		if _, err := LoadFramework(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestServeRequiresTraining(t *testing.T) {
+	fw := ckptFramework(t)
+	saved := fw.Trained
+	fw.Trained = nil
+	defer func() { fw.Trained = saved }()
+	if _, _, err := fw.PredictClassTrained("V100", stencil.Star(2, 1)); err == nil {
+		t.Error("PredictClassTrained worked without training")
+	}
+	if _, err := fw.ServePredict("V100", stencil.Star(2, 1)); err == nil {
+		t.Error("ServePredict worked without training")
+	}
+	if err := fw.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save worked without training")
+	}
+}

@@ -92,6 +92,23 @@ func PaperConfig() Config {
 	return cfg
 }
 
+// SmokeConfig returns the smallest useful configuration — sized for CI
+// smoke tests that must build, train, checkpoint, and serve a framework
+// in a few seconds.
+func SmokeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Corpus2D, cfg.Corpus3D = 12, 8
+	cfg.SamplesPerOC = 6
+	cfg.MaxRegressionInstances = 400
+	cfg.GBDT.Rounds = 10
+	cfg.GBReg.Rounds = 20
+	cfg.ConvNetTrain.Epochs = 3
+	cfg.FcNetTrain.Epochs = 3
+	cfg.MLPTrain.Epochs = 3
+	cfg.ConvMLPTrain.Epochs = 2
+	return cfg
+}
+
 // Validate checks the configuration invariants.
 func (c Config) Validate() error {
 	if c.Corpus2D < 0 || c.Corpus3D < 0 || c.Corpus2D+c.Corpus3D < c.Folds {

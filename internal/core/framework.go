@@ -17,6 +17,9 @@ type Framework struct {
 	Dataset  *profile.Dataset
 	Grouping merge.Grouping
 	Model    *sim.Model
+	// Trained holds the deployed full-corpus models after TrainAll or
+	// LoadFramework; nil until then. See checkpoint.go.
+	Trained *Trained
 }
 
 // Build runs the data-collection half of the pipeline: generate the

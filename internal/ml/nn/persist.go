@@ -1,0 +1,44 @@
+package nn
+
+import "fmt"
+
+// WeightSnapshot returns a deep copy of every trainable parameter block's
+// weights, in the network's canonical layer order. Together with the
+// builder arguments that shaped the network (recorded by the caller's
+// checkpoint), this is the full trained state: rebuilding the same
+// architecture and loading the snapshot reproduces predictions bitwise.
+func (n *Network) WeightSnapshot() [][]float64 {
+	params := n.Params()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.W...)
+	}
+	return out
+}
+
+// LoadWeights copies the snapshot into the network's parameter blocks.
+// The block count and every block length must match the architecture
+// exactly; a payload whose layer shapes disagree with the declared
+// schema fails here, never producing a silently-wrong predictor.
+func (n *Network) LoadWeights(ws [][]float64) error {
+	params := n.Params()
+	if len(ws) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d parameter blocks, network has %d", len(ws), len(params))
+	}
+	for i, p := range params {
+		if len(ws[i]) != len(p.W) {
+			return fmt.Errorf("nn: parameter block %d has %d weights, network layer expects %d", i, len(ws[i]), len(p.W))
+		}
+	}
+	for i, p := range params {
+		copy(p.W, ws[i])
+	}
+	return nil
+}
+
+// SetClasses restores the fitted class count on a rehydrated classifier
+// (FitClassifier normally records it).
+func (c *Classifier) SetClasses(n int) { c.classes = n }
+
+// Classes returns the fitted class count.
+func (c *Classifier) Classes() int { return c.classes }

@@ -1,0 +1,164 @@
+package tree
+
+import "fmt"
+
+// FlatNode is one serialized tree node. Nodes flatten in preorder into an
+// array; Left and Right index that array and are -1 for leaves. The flat
+// form keeps checkpoints free of pointer cycles and lets reconstruction
+// validate structure (bounds, acyclicity, full coverage) before any
+// prediction runs.
+type FlatNode struct {
+	// Feature is the split feature index, or -1 for a leaf.
+	Feature int `json:"f"`
+	// Threshold is the split threshold (unused for leaves).
+	Threshold float64 `json:"t"`
+	// Value is the leaf prediction (unused for internal nodes).
+	Value float64 `json:"v"`
+	// Left and Right index the node array; -1 for leaves.
+	Left  int `json:"l"`
+	Right int `json:"r"`
+}
+
+// Flatten serializes the tree into preorder flat nodes.
+func (t *Tree) Flatten() []FlatNode {
+	var out []FlatNode
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		at := len(out)
+		out = append(out, FlatNode{Feature: n.feature, Threshold: n.threshold, Value: n.value, Left: -1, Right: -1})
+		if n.feature >= 0 {
+			out[at].Left = walk(n.left)
+			out[at].Right = walk(n.right)
+		}
+		return at
+	}
+	walk(t.root)
+	return out
+}
+
+// TreeFromFlat rebuilds a tree from flat nodes, validating structure:
+// child indices must stay in bounds, every node must be referenced at
+// most once (no sharing, no cycles), and internal nodes need both
+// children. A corrupt node array fails here rather than mispredicting.
+func TreeFromFlat(nodes []FlatNode) (*Tree, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("tree: empty node array")
+	}
+	used := make([]bool, len(nodes))
+	var build func(i int) (*node, error)
+	build = func(i int) (*node, error) {
+		if i < 0 || i >= len(nodes) {
+			return nil, fmt.Errorf("tree: node index %d outside [0,%d)", i, len(nodes))
+		}
+		if used[i] {
+			return nil, fmt.Errorf("tree: node %d referenced twice", i)
+		}
+		used[i] = true
+		fn := nodes[i]
+		n := &node{feature: fn.Feature, threshold: fn.Threshold, value: fn.Value}
+		if fn.Feature < 0 {
+			if fn.Left != -1 || fn.Right != -1 {
+				return nil, fmt.Errorf("tree: leaf %d has children", i)
+			}
+			return n, nil
+		}
+		var err error
+		if n.left, err = build(fn.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = build(fn.Right); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("tree: node %d unreachable from root", i)
+		}
+	}
+	return &Tree{root: root}, nil
+}
+
+// GBRegressorState is the serializable form of a fitted GBRegressor.
+type GBRegressorState struct {
+	Config BoostConfig  `json:"config"`
+	Base   float64      `json:"base"`
+	Trees  [][]FlatNode `json:"trees"`
+}
+
+// State snapshots a fitted regressor.
+func (g *GBRegressor) State() GBRegressorState {
+	st := GBRegressorState{Config: g.cfg, Base: g.base}
+	for _, t := range g.trees {
+		st.Trees = append(st.Trees, t.Flatten())
+	}
+	return st
+}
+
+// GBRegressorFromState rehydrates a regressor, validating every tree.
+// The stored config is used verbatim (it was normalized at fit time), so
+// predictions are bitwise identical to the snapshotted model's.
+func GBRegressorFromState(st GBRegressorState) (*GBRegressor, error) {
+	g := &GBRegressor{cfg: st.Config, base: st.Base}
+	for i, fn := range st.Trees {
+		t, err := TreeFromFlat(fn)
+		if err != nil {
+			return nil, fmt.Errorf("tree: GBRegressor tree %d: %w", i, err)
+		}
+		g.trees = append(g.trees, t)
+	}
+	return g, nil
+}
+
+// GBDTState is the serializable form of a fitted GBDT classifier.
+type GBDTState struct {
+	Config  BoostConfig    `json:"config"`
+	Classes int            `json:"classes"`
+	Prior   []float64      `json:"prior"`
+	Trees   [][][]FlatNode `json:"trees"` // [round][class]
+}
+
+// State snapshots a fitted classifier.
+func (g *GBDT) State() GBDTState {
+	st := GBDTState{Config: g.cfg, Classes: g.classes, Prior: g.prior}
+	for _, round := range g.trees {
+		var r [][]FlatNode
+		for _, t := range round {
+			r = append(r, t.Flatten())
+		}
+		st.Trees = append(st.Trees, r)
+	}
+	return st
+}
+
+// GBDTFromState rehydrates a classifier, validating the class/prior/tree
+// shape agreement so a payload whose ensemble disagrees with its declared
+// class count errors instead of mispredicting.
+func GBDTFromState(st GBDTState) (*GBDT, error) {
+	if st.Classes < 2 {
+		return nil, fmt.Errorf("tree: GBDT state with %d classes", st.Classes)
+	}
+	if len(st.Prior) != st.Classes {
+		return nil, fmt.Errorf("tree: GBDT state has %d priors for %d classes", len(st.Prior), st.Classes)
+	}
+	g := &GBDT{cfg: st.Config, classes: st.Classes, prior: st.Prior}
+	for ri, round := range st.Trees {
+		if len(round) != st.Classes {
+			return nil, fmt.Errorf("tree: GBDT round %d has %d trees for %d classes", ri, len(round), st.Classes)
+		}
+		var r []*Tree
+		for ci, fn := range round {
+			t, err := TreeFromFlat(fn)
+			if err != nil {
+				return nil, fmt.Errorf("tree: GBDT round %d class %d: %w", ri, ci, err)
+			}
+			r = append(r, t)
+		}
+		g.trees = append(g.trees, r)
+	}
+	return g, nil
+}

@@ -1,0 +1,149 @@
+// Package persist implements the versioned, checksummed checkpoint
+// envelope every trained-model artifact uses. The format is stdlib-only
+// JSON: a small envelope carrying a magic string, an artifact kind, a
+// format version, and the SHA-256 of the payload bytes, with the payload
+// embedded verbatim. Corrupt, truncated, or wrong-version files fail
+// loudly at read time — the envelope is rejected before any payload field
+// is interpreted, so a damaged checkpoint can never rehydrate into a
+// silently-wrong predictor.
+//
+// Versioning policy: Version identifies the payload schema for a given
+// Kind. Readers accept exactly the version they were built for; schema
+// evolution bumps the version and (when needed) ships a migration reader.
+// Unknown payload fields are ignored on read, so additive changes may
+// keep the version; field renames, type changes, or semantic changes must
+// bump it.
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a StencilMART checkpoint envelope.
+const Magic = "stencilmart-checkpoint"
+
+// Sentinel errors for the failure classes callers branch on.
+var (
+	// ErrMagic marks a file that is not a StencilMART checkpoint.
+	ErrMagic = errors.New("persist: bad magic (not a stencilmart checkpoint)")
+	// ErrChecksum marks a payload whose bytes do not hash to the recorded
+	// checksum (bit rot, truncation inside the payload, hand edits).
+	ErrChecksum = errors.New("persist: payload checksum mismatch")
+	// ErrCorrupt marks an envelope that does not even decode (truncated
+	// or garbage bytes).
+	ErrCorrupt = errors.New("persist: corrupt or truncated checkpoint")
+)
+
+// VersionError reports a format-version mismatch.
+type VersionError struct {
+	Kind      string
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("persist: %s checkpoint version %d, this build reads version %d", e.Kind, e.Got, e.Want)
+}
+
+// KindError reports an artifact-kind mismatch (e.g. a dataset checkpoint
+// fed to the framework loader).
+type KindError struct {
+	Got, Want string
+}
+
+func (e *KindError) Error() string {
+	return fmt.Sprintf("persist: checkpoint holds %q, want %q", e.Got, e.Want)
+}
+
+// envelope is the on-disk frame around every payload.
+type envelope struct {
+	Magic    string          `json:"magic"`
+	Kind     string          `json:"kind"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"` // sha256 hex of Payload bytes
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// checksum hashes payload bytes to the envelope's hex digest.
+func checksum(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Write marshals payload and frames it in a checksummed envelope.
+func Write(w io.Writer, kind string, version int, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: marshal %s payload: %w", kind, err)
+	}
+	env := envelope{Magic: Magic, Kind: kind, Version: version, Checksum: checksum(raw), Payload: raw}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("persist: write %s envelope: %w", kind, err)
+	}
+	return nil
+}
+
+// Read decodes an envelope, verifies magic, kind, version, and checksum
+// in that order, and unmarshals the payload into out. Every verification
+// failure maps to a distinct error (ErrMagic, *KindError, *VersionError,
+// ErrChecksum, ErrCorrupt) so callers and tests can tell the failure
+// classes apart.
+func Read(r io.Reader, kind string, version int, out any) error {
+	var env envelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if env.Magic != Magic {
+		return ErrMagic
+	}
+	if env.Kind != kind {
+		return &KindError{Got: env.Kind, Want: kind}
+	}
+	if env.Version != version {
+		return &VersionError{Kind: kind, Got: env.Version, Want: version}
+	}
+	if checksum(env.Payload) != env.Checksum {
+		return ErrChecksum
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// WriteFile writes a checkpoint atomically: the envelope lands in a
+// temporary sibling first and renames into place, so a crash mid-write
+// never leaves a half-written file at the destination.
+func WriteFile(path, kind string, version int, payload any) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, kind, version, payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile reads a checkpoint from disk.
+func ReadFile(path, kind string, version int, out any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Read(f, kind, version, out)
+}

@@ -1,0 +1,158 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string    `json:"name"`
+	Vals  []float64 `json:"vals"`
+	Count int       `json:"count"`
+}
+
+func testPayload() payload {
+	return payload{Name: "probe", Vals: []float64{1.5, -2.25, 0.0078125}, Count: 3}
+}
+
+func encode(t *testing.T, kind string, version int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, kind, version, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	raw := encode(t, "test-kind", 3)
+	var got payload
+	if err := Read(bytes.NewReader(raw), "test-kind", 3, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := testPayload()
+	if got.Name != want.Name || got.Count != want.Count || len(got.Vals) != len(want.Vals) {
+		t.Fatalf("round trip got %+v, want %+v", got, want)
+	}
+	for i := range want.Vals {
+		if got.Vals[i] != want.Vals[i] {
+			t.Fatalf("val %d: %g != %g", i, got.Vals[i], want.Vals[i])
+		}
+	}
+}
+
+func TestTruncatedFileFails(t *testing.T) {
+	raw := encode(t, "test-kind", 1)
+	for _, cut := range []int{0, 1, len(raw) / 2, len(raw) - 2} {
+		var got payload
+		err := Read(bytes.NewReader(raw[:cut]), "test-kind", 1, &got)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestBadMagicFails(t *testing.T) {
+	raw := bytes.Replace(encode(t, "test-kind", 1), []byte(Magic), []byte("not-a-checkpoint-nope"), 1)
+	var got payload
+	if err := Read(bytes.NewReader(raw), "test-kind", 1, &got); !errors.Is(err, ErrMagic) {
+		t.Fatalf("bad magic gave %v, want ErrMagic", err)
+	}
+}
+
+func TestWrongVersionFails(t *testing.T) {
+	raw := encode(t, "test-kind", 1)
+	var got payload
+	err := Read(bytes.NewReader(raw), "test-kind", 2, &got)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("version mismatch gave %v, want *VersionError", err)
+	}
+	if ve.Got != 1 || ve.Want != 2 || ve.Kind != "test-kind" {
+		t.Fatalf("version error fields %+v", ve)
+	}
+}
+
+func TestWrongKindFails(t *testing.T) {
+	raw := encode(t, "dataset", 1)
+	var got payload
+	err := Read(bytes.NewReader(raw), "framework", 1, &got)
+	var ke *KindError
+	if !errors.As(err, &ke) {
+		t.Fatalf("kind mismatch gave %v, want *KindError", err)
+	}
+	if ke.Got != "dataset" || ke.Want != "framework" {
+		t.Fatalf("kind error fields %+v", ke)
+	}
+}
+
+func TestTamperedPayloadFailsChecksum(t *testing.T) {
+	raw := encode(t, "test-kind", 1)
+	// Flip a value inside the payload without touching the envelope: the
+	// recorded checksum no longer matches.
+	tampered := bytes.Replace(raw, []byte(`"count":3`), []byte(`"count":4`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("tamper target not found")
+	}
+	var got payload
+	if err := Read(bytes.NewReader(tampered), "test-kind", 1, &got); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("tampered payload gave %v, want ErrChecksum", err)
+	}
+}
+
+func TestGarbageFailsCorrupt(t *testing.T) {
+	for _, data := range [][]byte{[]byte("not json at all"), []byte(`[1,2,3]` + "garbage")} {
+		var got payload
+		err := Read(bytes.NewReader(data), "test-kind", 1, &got)
+		if err == nil {
+			t.Fatalf("garbage %q accepted", data)
+		}
+	}
+	var got payload
+	if err := Read(strings.NewReader("{{{"), "test-kind", 1, &got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unparsable envelope gave %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPayloadTypeMismatchFails(t *testing.T) {
+	// A decodable envelope whose payload does not match the target type
+	// must fail as corrupt, not partially populate.
+	env := envelope{Magic: Magic, Kind: "test-kind", Version: 1, Payload: json.RawMessage(`{"count":"not-a-number"}`)}
+	env.Checksum = checksum(env.Payload)
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Read(bytes.NewReader(raw), "test-kind", 1, &got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("type mismatch gave %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteFileAtomicAndReadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "probe.ckpt")
+	if err := WriteFile(path, "test-kind", 1, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := ReadFile(path, "test-kind", 1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "probe" || got.Count != 3 {
+		t.Fatalf("file round trip got %+v", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d directory entries after WriteFile, want 1", len(entries))
+	}
+}

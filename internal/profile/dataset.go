@@ -80,7 +80,14 @@ func (d *Dataset) MedianTimeMatrix(archIdx int) [][]float64 {
 				continue
 			}
 			sort.Float64s(ts)
-			m[ci][si] = ts[len(ts)/2]
+			// True median: the middle element for odd counts, the mean of
+			// the two middle elements for even counts (ts[n/2] alone would
+			// be the upper-middle value).
+			if n := len(ts); n%2 == 1 {
+				m[ci][si] = ts[n/2]
+			} else {
+				m[ci][si] = (ts[n/2-1] + ts[n/2]) / 2
+			}
 		}
 	}
 	return m
@@ -134,11 +141,14 @@ func (d *Dataset) Validate() error {
 					return fmt.Errorf("profile: arch %s stencil %d result %d holds OC %s, want %s",
 						d.Archs[ai].Name, si, ci, res.OC, combos[ci])
 				}
-				if !res.Crashed && (res.Time <= 0 || math.IsNaN(res.Time)) {
-					return fmt.Errorf("profile: arch %s stencil %d OC %s has non-positive time", d.Archs[ai].Name, si, res.OC)
+				// Infinite times must be rejected alongside NaN: an +Inf
+				// result in a hand-edited or corrupt dataset would
+				// otherwise validate cleanly and poison the best-OC labels.
+				if !res.Crashed && (res.Time <= 0 || math.IsNaN(res.Time) || math.IsInf(res.Time, 0)) {
+					return fmt.Errorf("profile: arch %s stencil %d OC %s has non-positive or non-finite time", d.Archs[ai].Name, si, res.OC)
 				}
 			}
-			if !p.BestOC.Valid() || p.BestTime <= 0 || math.IsNaN(p.BestTime) {
+			if !p.BestOC.Valid() || p.BestTime <= 0 || math.IsNaN(p.BestTime) || math.IsInf(p.BestTime, 0) {
 				return fmt.Errorf("profile: arch %s stencil %d has invalid best OC/time", d.Archs[ai].Name, si)
 			}
 		}

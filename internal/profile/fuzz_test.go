@@ -32,6 +32,16 @@ func FuzzDatasetRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"archs":["NoSuchGPU"]}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"profiles":[[{"results":[{"oc":999}]}]]}`))
+	// Infinite / out-of-range times in a hand-edited dataset must be
+	// rejected, not silently accepted as labels: JSON cannot spell +Inf,
+	// so a corrupt file carries an overflowing literal (decodes to +Inf
+	// in lenient parsers) or an instance time that Validate must refuse.
+	f.Add([]byte(`{"stencils":[{"name":"x","dims":2,"points":[0,0,0,1,0,0]}],"archs":["V100"],` +
+		`"profiles":[[{"StencilIdx":0,"Arch":"V100","Results":[{"oc":0,"time":1e999,"params":{}}]}]]}`))
+	f.Add([]byte(`{"stencils":[{"name":"x","dims":2,"points":[0,0,0,1,0,0]}],"archs":["V100"],` +
+		`"profiles":[],"instances":[{"StencilIdx":0,"OC":0,"Arch":"V100","Time":1e999}]}`))
+	f.Add([]byte(`{"stencils":[{"name":"x","dims":2,"points":[0,0,0,1,0,0]}],"archs":["V100"],` +
+		`"profiles":[],"instances":[{"StencilIdx":0,"OC":0,"Arch":"V100","Time":-1}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := profile.ReadJSON(bytes.NewReader(data))
 		if err != nil {

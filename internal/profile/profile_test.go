@@ -206,3 +206,72 @@ func TestProfilerErrors(t *testing.T) {
 		t.Error("empty corpus accepted")
 	}
 }
+
+// medianDataset builds a minimal hand-rolled dataset whose instances give
+// one (OC, stencil) cell a controlled sample list.
+func medianDataset(t *testing.T, times []float64) *Dataset {
+	t.Helper()
+	s, err := stencil.New("probe", 2, []stencil.Point{{Dx: 0, Dy: 0}, {Dx: 1, Dy: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := gpu.ByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Dataset{Stencils: []stencil.Stencil{s}, Archs: []gpu.Arch{arch}}
+	oc := opt.Combinations()[0]
+	for _, tm := range times {
+		d.Instances = append(d.Instances, Instance{StencilIdx: 0, OC: oc, Arch: arch.Name, Time: tm})
+	}
+	return d
+}
+
+// TestMedianTimeMatrixTrueMedian covers both parities: the old
+// ts[len/2] picked the upper-middle element for even sample counts.
+func TestMedianTimeMatrixTrueMedian(t *testing.T) {
+	cases := []struct {
+		times []float64
+		want  float64
+	}{
+		{[]float64{3, 1, 2}, 2},      // odd: middle element
+		{[]float64{4, 1, 3, 2}, 2.5}, // even: mean of the two middle
+		{[]float64{10, 2}, 6},        // even, n=2
+		{[]float64{5}, 5},            // single sample
+	}
+	for _, c := range cases {
+		d := medianDataset(t, c.times)
+		m := d.MedianTimeMatrix(0)
+		if got := m[0][0]; got != c.want {
+			t.Errorf("median of %v = %g, want %g", c.times, got, c.want)
+		}
+	}
+	// Cells with no samples stay NaN.
+	d := medianDataset(t, []float64{1})
+	if v := d.MedianTimeMatrix(0)[1][0]; !math.IsNaN(v) {
+		t.Errorf("empty cell median = %g, want NaN", v)
+	}
+}
+
+// TestValidateRejectsInfiniteResultTime guards the per-OC result check:
+// instances were IsInf-checked but Profile.Results entries were not, so a
+// corrupt dataset with an infinite time validated cleanly.
+func TestValidateRejectsInfiniteResultTime(t *testing.T) {
+	d := smallDataset(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	save := d.Profiles[0][0].Results[0]
+	d.Profiles[0][0].Results[0].Crashed = false
+	d.Profiles[0][0].Results[0].Time = math.Inf(1)
+	if err := d.Validate(); err == nil {
+		t.Fatal("dataset with +Inf result time validated cleanly")
+	}
+	d.Profiles[0][0].Results[0] = save
+
+	// Same for an infinite per-stencil best time.
+	d.Profiles[0][0].BestTime = math.Inf(1)
+	if err := d.Validate(); err == nil {
+		t.Fatal("dataset with +Inf best time validated cleanly")
+	}
+}

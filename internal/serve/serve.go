@@ -1,0 +1,282 @@
+// Package serve exposes a trained StencilMART framework as an HTTP
+// prediction service: POST a stencil and a target GPU, get back the
+// predicted optimization class, a tuned parameter setting, predicted
+// times on every catalog GPU, and the rent-advisor verdict. The server
+// is the deploy-side half of the train-once/predict-cheaply contract —
+// it never trains or profiles; it serves a checkpoint.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stencilmart/internal/core"
+	"stencilmart/internal/stencil"
+)
+
+// DefaultTimeout bounds one request's prediction work.
+const DefaultTimeout = 30 * time.Second
+
+// endpointStats aggregates per-endpoint counters with atomics so the
+// stats page never contends with request handling.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	totalNS  atomic.Int64
+}
+
+func (s *endpointStats) observe(d time.Duration, failed bool) {
+	s.requests.Add(1)
+	s.totalNS.Add(d.Nanoseconds())
+	if failed {
+		s.errors.Add(1)
+	}
+}
+
+// EndpointSnapshot is one endpoint's counters in /statsz.
+type EndpointSnapshot struct {
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	AvgMillis float64 `json:"avg_millis"`
+}
+
+func (s *endpointStats) snapshot() EndpointSnapshot {
+	n := s.requests.Load()
+	out := EndpointSnapshot{Requests: n, Errors: s.errors.Load()}
+	if n > 0 {
+		out.AvgMillis = float64(s.totalNS.Load()) / float64(n) / 1e6
+	}
+	return out
+}
+
+// Server serves predictions from one trained framework.
+type Server struct {
+	fw *core.Framework
+	// mu serializes model access: the nn mechanisms share forward
+	// scratch buffers and are not goroutine-safe. Requests still overlap
+	// in decode/encode; only the predict step is serial.
+	mu      sync.Mutex
+	timeout time.Duration
+	started time.Time
+
+	healthz endpointStats
+	statsz  endpointStats
+	predict endpointStats
+}
+
+// New wraps a trained framework in a server. The framework must already
+// hold trained models (TrainAll or a loaded checkpoint).
+func New(fw *core.Framework, timeout time.Duration) (*Server, error) {
+	if fw.Trained == nil {
+		return nil, fmt.Errorf("serve: framework has no trained models (train or load a checkpoint first)")
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Server{fw: fw, timeout: timeout, started: time.Now()}, nil
+}
+
+// Handler returns the service's HTTP handler with request timeouts
+// applied to the prediction endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.Handle("/predict", http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, `{"error":"prediction timed out"}`))
+	return mux
+}
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully
+// (in-flight requests drain). Pass an ":0" addr to bind a random port;
+// the bound address is printed as "serving on http://ADDR" so callers
+// (and the smoke script) can discover it.
+func (s *Server) Run(ctx context.Context, addr string, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	logf("serving on http://%s", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		logf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		<-done // Serve has returned ErrServerClosed
+		return nil
+	}
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.healthz.observe(time.Since(start), false) }()
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// StatsResponse is the /statsz body: the sim memo-cache counters and
+// per-endpoint latency aggregates.
+type StatsResponse struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	SimCache      SimCacheSnapshot            `json:"sim_cache"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// SimCacheSnapshot reports the simulator memoization counters.
+type SimCacheSnapshot struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.statsz.observe(time.Since(start), false) }()
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	cs := s.fw.Model.CacheStats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		SimCache: SimCacheSnapshot{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Entries: cs.Entries, HitRate: cs.HitRate(),
+		},
+		Endpoints: map[string]EndpointSnapshot{
+			"healthz": s.healthz.snapshot(),
+			"statsz":  s.statsz.snapshot(),
+			"predict": s.predict.snapshot(),
+		},
+	})
+}
+
+// PredictRequest is the /predict body. A stencil is named (classic
+// "star3d2r"-style names) or spelled as raw offsets; exactly one form
+// must be used.
+type PredictRequest struct {
+	// Stencil is a classic stencil name, e.g. "star3d2r".
+	Stencil string `json:"stencil,omitempty"`
+	// Name, Dims, and Points spell a custom stencil from raw offsets
+	// ([dx,dy,dz] triples; dz must be 0 for 2-D).
+	Name   string  `json:"name,omitempty"`
+	Dims   int     `json:"dims,omitempty"`
+	Points [][]int `json:"points,omitempty"`
+	// GPU is the target architecture name (P100, V100, 2080Ti, A100).
+	GPU string `json:"gpu"`
+}
+
+// stencilFromRequest resolves the request's stencil form.
+func stencilFromRequest(req PredictRequest) (stencil.Stencil, error) {
+	named := req.Stencil != ""
+	raw := len(req.Points) > 0
+	switch {
+	case named && raw:
+		return stencil.Stencil{}, fmt.Errorf("give either a stencil name or raw points, not both")
+	case named:
+		return stencil.ByName(req.Stencil)
+	case raw:
+		name := req.Name
+		if name == "" {
+			name = "custom"
+		}
+		pts := make([]stencil.Point, len(req.Points))
+		for i, p := range req.Points {
+			if len(p) != 3 {
+				return stencil.Stencil{}, fmt.Errorf("point %d has %d coordinates, want [dx,dy,dz]", i, len(p))
+			}
+			pts[i] = stencil.Point{Dx: p[0], Dy: p[1], Dz: p[2]}
+		}
+		return stencil.New(name, req.Dims, pts)
+	default:
+		return stencil.Stencil{}, fmt.Errorf("request names no stencil")
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.predict.observe(time.Since(start), failed) }()
+
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.GPU == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing gpu"})
+		return
+	}
+	st, err := stencilFromRequest(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	pred, err := s.fw.ServePredict(req.GPU, st)
+	s.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "unknown") ||
+			strings.Contains(err.Error(), "not in dataset") ||
+			strings.Contains(err.Error(), "no trained") {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, pred)
+}

@@ -89,6 +89,9 @@ func (g Genetic) Tune(m *sim.Model, w sim.Workload, oc opt.Opt, arch gpu.Arch, b
 	if budget < 1 {
 		return Result{}, fmt.Errorf("tuner: genetic budget %d < 1", budget)
 	}
+	if g.MutationRate < 0 {
+		return Result{}, fmt.Errorf("tuner: negative mutation rate %v", g.MutationRate)
+	}
 	pop := g.Population
 	if pop == 0 {
 		pop = 8
@@ -104,8 +107,15 @@ func (g Genetic) Tune(m *sim.Model, w sim.Workload, oc opt.Opt, arch gpu.Arch, b
 	if elite == 0 {
 		elite = 2
 	}
-	if elite > pop {
-		elite = pop
+	if elite < 0 {
+		elite = 0
+	}
+	// Elites are carried over without re-evaluation, so a generation must
+	// leave at least one slot for a fresh evaluation: with elite >= pop the
+	// loop below would copy the whole population forever while evals never
+	// advances toward the budget.
+	if elite >= pop {
+		elite = pop - 1
 	}
 	rng := rand.New(rand.NewSource(seed))
 

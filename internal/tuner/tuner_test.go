@@ -3,6 +3,7 @@ package tuner
 import (
 	"math"
 	"testing"
+	"time"
 
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
@@ -104,4 +105,59 @@ func TestCrossoverMutatePreserveValidity(t *testing.T) {
 		t.Error("tuner names wrong")
 	}
 	_ = w
+}
+
+// TestGeneticSmallPopulationTerminates is the regression test for the
+// elite >= population hang: with Population 2 and the default elite of 2,
+// every generation used to carry over only elites, never evaluating, so
+// the budget loop spun forever. The tune must finish well within the
+// timeout and within its budget.
+func TestGeneticSmallPopulationTerminates(t *testing.T) {
+	m, w, arch := setup(t)
+	type outcome struct {
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := (Genetic{Population: 2}).Tune(m, w, opt.ST, arch, 20, 3)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.res.Evaluations > 20 {
+			t.Errorf("evaluations %d exceed budget 20", o.res.Evaluations)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Genetic{Population: 2} did not terminate: elite carry-over starves the evaluation budget")
+	}
+}
+
+// TestGeneticPopulationOneTerminates covers the degenerate single-slot
+// population, where the clamp leaves no elites at all.
+func TestGeneticPopulationOneTerminates(t *testing.T) {
+	m, w, arch := setup(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := (Genetic{Population: 1, Elite: 5}).Tune(m, w, opt.ST, arch, 8, 4)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Genetic{Population: 1} did not terminate")
+	}
+}
+
+func TestGeneticRejectsNegativeMutationRate(t *testing.T) {
+	m, w, arch := setup(t)
+	if _, err := (Genetic{MutationRate: -0.5}).Tune(m, w, opt.ST, arch, 10, 5); err == nil {
+		t.Fatal("negative mutation rate accepted")
+	}
 }

@@ -24,4 +24,9 @@ echo "== bench smoke (race) =="
 # parallel paths cleanly, without paying for a full benchmark run.
 go test -race -run='^$' -bench=. -benchtime=1x ./internal/linalg/ ./internal/ml/nn/
 
+echo "== serve smoke =="
+# Train a tiny checkpoint, serve it on a random port, and exercise
+# /healthz and /predict over real HTTP — the deploy path end to end.
+sh scripts/serve_smoke.sh
+
 echo "all checks passed"

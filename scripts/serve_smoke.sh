@@ -1,0 +1,88 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the train/serve pipeline:
+# build the CLI, train a tiny checkpoint, start the HTTP service on a
+# random port, hit /healthz and /predict, assert well-formed 200
+# responses, and shut the server down. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/stencilmart" ./cmd/stencilmart
+
+echo "-- train (smoke preset) --"
+"$tmp/stencilmart" train -preset smoke -out "$tmp/model.ckpt" >"$tmp/train.log" 2>&1 || {
+    cat "$tmp/train.log"; echo "serve smoke: train failed" >&2; exit 1
+}
+
+echo "-- serve (random port) --"
+"$tmp/stencilmart" serve -model "$tmp/model.ckpt" -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+# Wait for the server to announce its address.
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base="$(sed -n 's/^serving on \(http:\/\/.*\)$/\1/p' "$tmp/serve.log" | head -n1)"
+    [ -n "$base" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        cat "$tmp/serve.log"; echo "serve smoke: server exited early" >&2; exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    cat "$tmp/serve.log"; echo "serve smoke: server never announced its address" >&2; exit 1
+fi
+
+fetch() {
+    # fetch <url-path> <output-file> [curl/wget POST body]
+    path="$1"; out="$2"; body="${3:-}"
+    if command -v curl >/dev/null 2>&1; then
+        if [ -n "$body" ]; then
+            curl -sS -o "$out" -w '%{http_code}' -H 'Content-Type: application/json' -d "$body" "$base$path"
+        else
+            curl -sS -o "$out" -w '%{http_code}' "$base$path"
+        fi
+    else
+        if [ -n "$body" ]; then
+            wget -q -O "$out" --server-response --header='Content-Type: application/json' \
+                --post-data="$body" "$base$path" 2>&1 | sed -n 's/^  HTTP\/[0-9.]* \([0-9]*\).*/\1/p' | tail -n1
+        else
+            wget -q -O "$out" --server-response "$base$path" 2>&1 | sed -n 's/^  HTTP\/[0-9.]* \([0-9]*\).*/\1/p' | tail -n1
+        fi
+    fi
+}
+
+echo "-- /healthz --"
+code="$(fetch /healthz "$tmp/healthz.json")"
+[ "$code" = "200" ] || { echo "serve smoke: /healthz gave HTTP $code" >&2; exit 1; }
+grep -q '"status":"ok"' "$tmp/healthz.json" || {
+    cat "$tmp/healthz.json"; echo "serve smoke: /healthz body malformed" >&2; exit 1
+}
+
+echo "-- /predict --"
+code="$(fetch /predict "$tmp/predict.json" '{"stencil":"star2d2r","gpu":"V100"}')"
+[ "$code" = "200" ] || { cat "$tmp/predict.json"; echo "serve smoke: /predict gave HTTP $code" >&2; exit 1; }
+for field in '"oc"' '"params"' '"predicted_seconds"' '"advice"'; do
+    grep -q "$field" "$tmp/predict.json" || {
+        cat "$tmp/predict.json"; echo "serve smoke: /predict body missing $field" >&2; exit 1
+    }
+done
+
+echo "-- shutdown --"
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "serve smoke: server exited non-zero on SIGTERM" >&2; exit 1; }
+server_pid=""
+
+echo "serve smoke passed"
