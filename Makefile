@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check serve-smoke bench bench-kernels fuzz
+.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels fuzz
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,9 @@ check:
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

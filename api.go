@@ -1,6 +1,7 @@
 package stencilmart
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -176,7 +177,13 @@ func PaperConfig() Config { return core.PaperConfig() }
 
 // Build runs corpus generation, profiling and OC merging, returning a
 // framework ready for training and evaluation.
-func Build(cfg Config) (*Framework, error) { return core.Build(cfg) }
+func Build(cfg Config) (*Framework, error) { return core.Build(context.Background(), cfg) }
+
+// BuildContext is Build with cancellation: a cancelled ctx stops
+// profiling after the in-flight cells finish.
+func BuildContext(ctx context.Context, cfg Config) (*Framework, error) {
+	return core.Build(ctx, cfg)
+}
 
 // FromDataset assembles a framework around a dataset loaded from disk.
 func FromDataset(cfg Config, ds *Dataset) (*Framework, error) {

@@ -6,6 +6,7 @@
 package stencilmart_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -148,7 +149,7 @@ func BenchmarkAblationLinearTimeTarget(b *testing.B) {
 	// GBRegressor on linear targets over the same instances.
 	cfg := benchConfig()
 	cfg.Corpus2D, cfg.Corpus3D = 20, 0
-	fw, err := core.Build(cfg)
+	fw, err := core.Build(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func BenchmarkProfileOneStencil(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := profilerForBench(int64(i))
-		if _, _, err := p.ProfileOne(0, s, arch); err != nil {
+		if _, _, err := p.ProfileOne(context.Background(), 0, s, arch); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -25,10 +25,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"stencilmart/internal/codegen"
 	"stencilmart/internal/core"
 	"stencilmart/internal/experiments"
+	"stencilmart/internal/fault"
 	"stencilmart/internal/gen"
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
@@ -163,11 +165,21 @@ func printTensor(s stencil.Stencil) {
 	}
 }
 
+// signalContext returns a context cancelled on SIGINT/SIGTERM, so long
+// pipeline runs flush their journal and exit cleanly instead of dying
+// mid-write.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	out := fs.String("out", "dataset.json", "output dataset path")
 	preset := fs.String("preset", "default", "pipeline preset (default, paper)")
 	seed := fs.Int64("seed", 0, "override pipeline seed")
+	journal := fs.String("journal", "", "collection journal path for crash/interrupt resume (default <out>.journal, \"off\" disables)")
+	chaos := fs.Bool("chaos", false, "inject deterministic measurement faults (transient errors, panics, outliers); the fault-tolerant pipeline must still produce the fault-free dataset")
+	chaosSeed := fs.Int64("chaos-seed", 99, "fault-injection seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -182,9 +194,44 @@ func cmdProfile(args []string) error {
 	fmt.Printf("profiling %d stencils x %d GPUs x %d OCs x %d settings...\n",
 		len(corpus), len(gpu.Catalog()), opt.NumCombinations, cfg.SamplesPerOC)
 	p := profile.NewProfiler(cfg.SamplesPerOC, cfg.Seed+1000)
-	ds, err := p.Collect(corpus, gpu.Catalog())
+	var injector *fault.Injector
+	if *chaos {
+		injector = fault.Wrap(p.Model, fault.DefaultConfig(*chaosSeed))
+		p.Runner = injector
+		p.Trials = 3
+		p.Retry = profile.RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond}
+	}
+
+	jpath := *journal
+	if jpath == "" {
+		jpath = *out + ".journal"
+	}
+	ctx, stop := signalContext()
+	defer stop()
+
+	var ds *profile.Dataset
+	if jpath == "off" {
+		ds, err = p.Collect(ctx, corpus, gpu.Catalog())
+	} else {
+		var st profile.ResumeStats
+		ds, st, err = p.CollectJournal(ctx, jpath, corpus, gpu.Catalog())
+		if st.Resumed > 0 {
+			fmt.Printf("resumed %d/%d cells from %s (re-measuring %d)\n", st.Resumed, st.Cells, jpath, st.Measured)
+		}
+		if st.RepairedBytes > 0 {
+			fmt.Printf("journal had a damaged tail; dropped %d bytes and re-measured the affected cells\n", st.RepairedBytes)
+		}
+		if err != nil {
+			return fmt.Errorf("%w\ncompleted cells are saved in %s — rerun the same command to resume", err, jpath)
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("chaos: absorbed %d injected faults over %d attempts (%d transient, %d panics, %d non-finite, %d spikes)\n",
+			st.Total(), st.Attempts, st.Transients, st.Panics, st.NaNs+st.Infs, st.Spikes)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -194,19 +241,23 @@ func cmdProfile(args []string) error {
 	if err := ds.WriteJSON(f); err != nil {
 		return err
 	}
+	if jpath != "off" {
+		// The dataset is durable; the journal has served its purpose.
+		os.Remove(jpath)
+	}
 	fmt.Printf("wrote %s: %d stencils, %d instances\n", *out, len(ds.Stencils), len(ds.Instances))
 	return nil
 }
 
 // loadFramework builds a framework from -dataset (or from scratch).
-func loadFramework(path, preset string, seed int64) (*core.Framework, error) {
+func loadFramework(ctx context.Context, path, preset string, seed int64) (*core.Framework, error) {
 	cfg, err := configFromPreset(preset, seed)
 	if err != nil {
 		return nil, err
 	}
 	if path == "" {
 		fmt.Println("no -dataset given; building a fresh corpus (this profiles everything)...")
-		return core.Build(cfg)
+		return core.Build(ctx, cfg)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -241,13 +292,18 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := loadFramework(*dataset, *preset, *seed)
+	ctx, stop := signalContext()
+	defer stop()
+	fw, err := loadFramework(ctx, *dataset, *preset, *seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("training %s classifiers and %s regressors on %d stencils...\n",
 		ck, rk, len(fw.Dataset.Stencils))
-	if err := fw.TrainAll(ck, rk); err != nil {
+	if err := fw.TrainAll(ctx, ck, rk); err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("training interrupted: %w (rerun to train again; profiling is the expensive step, pass -dataset to reuse it)", err)
+		}
 		return err
 	}
 	if err := fw.SaveFile(*out); err != nil {
@@ -268,6 +324,7 @@ func cmdServe(args []string) error {
 	model := fs.String("model", "model.ckpt", "trained checkpoint (from 'train')")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
 	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request prediction timeout")
+	maxInFlight := fs.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /predict requests admitted before shedding with 503")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -275,7 +332,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(fw, *timeout)
+	srv, err := serve.NewWithOptions(fw, serve.Options{Timeout: *timeout, MaxInFlight: *maxInFlight})
 	if err != nil {
 		return err
 	}
@@ -304,7 +361,9 @@ func cmdPredict(args []string) error {
 	if *model != "" {
 		return predictFromCheckpoint(*model, *gpuName, s)
 	}
-	fw, err := loadFramework(*dataset, *preset, *seed)
+	ctx, stop := signalContext()
+	defer stop()
+	fw, err := loadFramework(ctx, *dataset, *preset, *seed)
 	if err != nil {
 		return err
 	}
@@ -385,7 +444,9 @@ func cmdRent(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fw, err := loadFramework(*dataset, *preset, *seed)
+	ctx, stop := signalContext()
+	defer stop()
+	fw, err := loadFramework(ctx, *dataset, *preset, *seed)
 	if err != nil {
 		return err
 	}

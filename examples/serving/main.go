@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := fw.TrainAll(stencilmart.ClassGBDT, stencilmart.RegGB); err != nil {
+	if err := fw.TrainAll(context.Background(), stencilmart.ClassGBDT, stencilmart.RegGB); err != nil {
 		log.Fatal(err)
 	}
 

@@ -95,7 +95,11 @@ func (f *Framework) regressorSeed(dims int) int64 {
 // framework for ServePredict and Save. Cells train concurrently on the
 // shared pool; each owns its model and derives its own seed, so the
 // fitted set is identical to a serial loop under any GOMAXPROCS.
-func (f *Framework) TrainAll(ck ClassifierKind, rk RegressorKind) error {
+// Cancelling ctx abandons training and leaves Trained nil.
+func (f *Framework) TrainAll(ctx context.Context, ck ClassifierKind, rk RegressorKind) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dims := f.trainDims()
 	if len(dims) == 0 {
 		return fmt.Errorf("core: empty corpus, nothing to train")
@@ -115,7 +119,7 @@ func (f *Framework) TrainAll(ck ClassifierKind, rk RegressorKind) error {
 			cells = append(cells, cell{ai, d})
 		}
 	}
-	classifiers, err := par.Map(context.Background(), len(cells), 0, func(i int) (ml.Classifier, error) {
+	classifiers, err := par.Map(ctx, len(cells), 0, func(i int) (ml.Classifier, error) {
 		c := cells[i]
 		cls, _, err := f.TrainClassifier(ck, c.archIdx, c.dims, f.StencilIndices(c.dims), f.classifierSeed(c.archIdx, c.dims))
 		return cls, err
@@ -131,7 +135,7 @@ func (f *Framework) TrainAll(ck ClassifierKind, rk RegressorKind) error {
 		tr.Classifiers[name][c.dims] = classifiers[i]
 	}
 
-	regressors, err := par.Map(context.Background(), len(dims), 0, func(i int) (*TrainedRegressor, error) {
+	regressors, err := par.Map(ctx, len(dims), 0, func(i int) (*TrainedRegressor, error) {
 		d := dims[i]
 		return f.TrainRegressor(rk, d, f.dimsInstances(d), f.regressorSeed(d))
 	})

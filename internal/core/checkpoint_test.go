@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -23,7 +24,7 @@ var (
 func ckptFramework(t *testing.T) *Framework {
 	t.Helper()
 	ckptOnce.Do(func() {
-		ckptInst, ckptErr = Build(SmokeConfig())
+		ckptInst, ckptErr = Build(context.Background(), SmokeConfig())
 	})
 	if ckptErr != nil {
 		t.Fatal(ckptErr)
@@ -75,7 +76,7 @@ func TestSaveLoadBitwiseIdentical(t *testing.T) {
 	}
 	for _, pair := range pairs {
 		t.Run(pair.ck.String()+"_"+pair.rk.String(), func(t *testing.T) {
-			if err := fw.TrainAll(pair.ck, pair.rk); err != nil {
+			if err := fw.TrainAll(context.Background(), pair.ck, pair.rk); err != nil {
 				t.Fatal(err)
 			}
 			var buf bytes.Buffer
@@ -140,7 +141,7 @@ func tamperCheckpoint(t *testing.T, fw *Framework, mutate func(*checkpointPayloa
 
 func TestLoadRejectsTamperedCheckpoints(t *testing.T) {
 	fw := ckptFramework(t)
-	if err := fw.TrainAll(ClassGBDT, RegGB); err != nil {
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
 		t.Fatal(err)
 	}
 	cases := []struct {
@@ -222,7 +223,7 @@ func TestLoadRejectsTamperedCheckpoints(t *testing.T) {
 // the config declares must fail at load, not mispredict.
 func TestLoadRejectsWrongNNShapes(t *testing.T) {
 	fw := ckptFramework(t)
-	if err := fw.TrainAll(ClassConvNet, RegMLP); err != nil {
+	if err := fw.TrainAll(context.Background(), ClassConvNet, RegMLP); err != nil {
 		t.Fatal(err)
 	}
 	cases := []struct {
@@ -268,7 +269,7 @@ func TestLoadRejectsWrongNNShapes(t *testing.T) {
 
 func TestTruncatedCheckpointFails(t *testing.T) {
 	fw := ckptFramework(t)
-	if err := fw.TrainAll(ClassGBDT, RegGB); err != nil {
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

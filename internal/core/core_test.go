@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -31,7 +32,7 @@ func testFramework(t *testing.T) *Framework {
 		cfg.FcNetTrain.Epochs = 10
 		cfg.MLPTrain.Epochs = 8
 		cfg.ConvMLPTrain.Epochs = 4
-		fwInst, fwErr = Build(cfg)
+		fwInst, fwErr = Build(context.Background(), cfg)
 	})
 	if fwErr != nil {
 		t.Fatal(fwErr)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"stencilmart/internal/gen"
@@ -24,8 +25,12 @@ type Framework struct {
 
 // Build runs the data-collection half of the pipeline: generate the
 // random corpus, profile it on every catalog GPU, and merge the OCs into
-// prediction classes.
-func Build(cfg Config) (*Framework, error) {
+// prediction classes. Cancelling ctx (e.g. on SIGINT) stops profiling
+// after in-flight cells finish.
+func Build(ctx context.Context, cfg Config) (*Framework, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,7 +41,7 @@ func Build(cfg Config) (*Framework, error) {
 	model := sim.New()
 	prof := profile.NewProfiler(cfg.SamplesPerOC, cfg.Seed+1000)
 	prof.Model = model
-	ds, err := prof.Collect(corpus, gpu.Catalog())
+	ds, err := prof.Collect(ctx, corpus, gpu.Catalog())
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -40,7 +41,7 @@ func New(cfg core.Config, out io.Writer) *Runner {
 // framework builds (once) the profiled corpus + grouping.
 func (r *Runner) framework() (*Framework, error) {
 	if r.fw == nil {
-		fw, err := core.Build(r.Cfg)
+		fw, err := core.Build(context.Background(), r.Cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,7 +21,7 @@ func featureNamesImpl() []string               { return tensor.FeatureNames }
 // (star/box/cross, orders 1-4, 2-D and 3-D) on every GPU.
 func (r *Runner) representativeDataset() (*profile.Dataset, error) {
 	p := profile.NewProfiler(r.Cfg.SamplesPerOC, r.Cfg.Seed+5000)
-	return p.Collect(stencil.RepresentativeAll(), gpu.Catalog())
+	return p.Collect(context.Background(), stencil.RepresentativeAll(), gpu.Catalog())
 }
 
 // Fig1 reproduces the best-vs-worst OC gap on V100 (paper: average 9.95x,

@@ -1,0 +1,333 @@
+// Package fault is the chaos source of the reproduction: a deterministic,
+// seeded injector that wraps the sim measurement path and corrupts it the
+// way real profiling campaigns get corrupted — transient driver errors,
+// latency spikes, non-finite samples, and outright crashes (panics).
+//
+// Determinism is the design constraint: whether a given measurement
+// attempt faults is a pure function of (injector seed, measurement site,
+// attempt number), where a site is the canonical sim.RunKey of the cell.
+// Worker scheduling therefore cannot change which attempts fault, and a
+// profiling run under injection that retries faulted attempts produces a
+// dataset bitwise-identical to a fault-free run — the property the
+// differential chaos suite enforces.
+//
+// A per-site fault budget (Config.MaxFaultsPerSite) bounds how many
+// attempts at one site may fault, so bounded retries and median-of-k
+// trials are guaranteed to recover the clean measurement.
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/sim"
+)
+
+// Config sets the per-attempt fault rates. Each rate is a probability in
+// [0, 1); on one attempt at most one fault fires, drawn by partitioning
+// the unit interval in the order panic, transient, NaN, Inf, spike.
+type Config struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// PanicRate is the probability an attempt panics mid-measurement.
+	PanicRate float64
+	// TransientRate is the probability an attempt fails with a
+	// *TransientError (the "driver hiccup" class a retry cures).
+	TransientRate float64
+	// NaNRate and InfRate are the probabilities a successful measurement
+	// reports a non-finite time.
+	NaNRate, InfRate float64
+	// SpikeRate is the probability a successful measurement's time is
+	// multiplied by SpikeFactor (a timing outlier).
+	SpikeRate float64
+	// SpikeFactor scales spiked times; <= 1 selects DefaultSpikeFactor.
+	SpikeFactor float64
+	// MaxFaultsPerSite caps the total faults injected at one measurement
+	// site, guaranteeing retries eventually observe the clean value;
+	// <= 0 selects DefaultMaxFaultsPerSite.
+	MaxFaultsPerSite int
+}
+
+// DefaultSpikeFactor is the timing-outlier multiplier.
+const DefaultSpikeFactor = 25.0
+
+// DefaultMaxFaultsPerSite keeps every site recoverable by a single retry
+// or a median over 3 trials.
+const DefaultMaxFaultsPerSite = 1
+
+// DefaultConfig returns the chaos-smoke configuration: a ≥10% transient
+// error rate plus occasional panics, non-finite samples, and spikes —
+// every fault class the tolerant profiler must absorb.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		PanicRate:     0.02,
+		TransientRate: 0.15,
+		NaNRate:       0.04,
+		InfRate:       0.02,
+		SpikeRate:     0.05,
+	}
+}
+
+func (c Config) spikeFactor() float64 {
+	if c.SpikeFactor > 1 {
+		return c.SpikeFactor
+	}
+	return DefaultSpikeFactor
+}
+
+func (c Config) budget() int {
+	if c.MaxFaultsPerSite > 0 {
+		return c.MaxFaultsPerSite
+	}
+	return DefaultMaxFaultsPerSite
+}
+
+// Validate checks the rates sum to a proper sub-distribution.
+func (c Config) Validate() error {
+	total := 0.0
+	for _, r := range []float64{c.PanicRate, c.TransientRate, c.NaNRate, c.InfRate, c.SpikeRate} {
+		if r < 0 || r >= 1 || math.IsNaN(r) {
+			return fmt.Errorf("fault: rate %v outside [0, 1)", r)
+		}
+		total += r
+	}
+	if total >= 1 {
+		return fmt.Errorf("fault: rates sum to %v >= 1", total)
+	}
+	return nil
+}
+
+// TransientError is the injected "driver hiccup": an error a retry is
+// expected to cure. It implements the Transient() classification the
+// profiler's retry layer keys on.
+type TransientError struct {
+	Site    uint64
+	Attempt int
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: injected transient error (site %x, attempt %d)", e.Site, e.Attempt)
+}
+
+// Transient marks the error as retryable.
+func (e *TransientError) Transient() bool { return true }
+
+// IsTransient reports whether err self-classifies as retryable via a
+// `Transient() bool` method anywhere in its chain.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// InjectedPanic is the value the injector panics with; the profiler's
+// recovery layer surfaces it inside a panic-classifying error.
+type InjectedPanic struct {
+	Site    uint64
+	Attempt int
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic (site %x, attempt %d)", p.Site, p.Attempt)
+}
+
+// Stats counts injected faults and attempts, read with Injector.Stats.
+type Stats struct {
+	Attempts   uint64 `json:"attempts"`
+	Sites      uint64 `json:"sites"`
+	Transients uint64 `json:"transients"`
+	Panics     uint64 `json:"panics"`
+	NaNs       uint64 `json:"nans"`
+	Infs       uint64 `json:"infs"`
+	Spikes     uint64 `json:"spikes"`
+}
+
+// Total returns the number of injected faults of every class.
+func (s Stats) Total() uint64 {
+	return s.Transients + s.Panics + s.NaNs + s.Infs + s.Spikes
+}
+
+// Injector wraps a sim.Runner with deterministic fault injection. It is
+// safe for concurrent use; per-site attempt sequences stay deterministic
+// because one site is only ever measured sequentially (retries and trials
+// of a cell run on the cell's own worker).
+type Injector struct {
+	cfg  Config
+	next sim.Runner
+
+	mu    sync.Mutex
+	sites map[uint64]*siteState
+
+	attempts, transients, panics, nans, infs, spikes atomic.Uint64
+}
+
+type siteState struct {
+	attempt int // attempts observed so far
+	faults  int // faults already injected at this site
+}
+
+// Wrap returns an injector around next. It panics on an invalid config —
+// the injector only exists in tests and chaos smoke runs, where a bad
+// configuration is a programming error.
+func Wrap(next sim.Runner, cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if next == nil {
+		panic("fault: nil runner")
+	}
+	return &Injector{cfg: cfg, next: next, sites: make(map[uint64]*siteState)}
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	sites := uint64(len(in.sites))
+	in.mu.Unlock()
+	return Stats{
+		Attempts:   in.attempts.Load(),
+		Sites:      sites,
+		Transients: in.transients.Load(),
+		Panics:     in.panics.Load(),
+		NaNs:       in.nans.Load(),
+		Infs:       in.infs.Load(),
+		Spikes:     in.spikes.Load(),
+	}
+}
+
+// outcome is one attempt's injected fault class.
+type outcome int
+
+const (
+	ok outcome = iota
+	injectPanic
+	injectTransient
+	injectNaN
+	injectInf
+	injectSpike
+)
+
+// begin records one attempt at the site and returns the attempt number
+// and whether the site's fault budget still has room.
+func (in *Injector) begin(site uint64) (attempt int, budgetLeft bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.sites[site]
+	if st == nil {
+		st = &siteState{}
+		in.sites[site] = st
+	}
+	attempt = st.attempt
+	st.attempt++
+	return attempt, st.faults < in.cfg.budget()
+}
+
+// spend consumes one unit of the site's fault budget.
+func (in *Injector) spend(site uint64) {
+	in.mu.Lock()
+	in.sites[site].faults++
+	in.mu.Unlock()
+}
+
+// decide maps (seed, site, attempt) to a fault class by hashing into a
+// uniform draw on [0, 1) and partitioning by the configured rates.
+func (in *Injector) decide(site uint64, attempt int) outcome {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(in.cfg.Seed))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], site)
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	// 53 mantissa bits of the hash give a uniform draw in [0, 1).
+	u := float64(h.Sum64()>>11) / (1 << 53)
+
+	c := in.cfg
+	for _, class := range []struct {
+		rate float64
+		out  outcome
+	}{
+		{c.PanicRate, injectPanic},
+		{c.TransientRate, injectTransient},
+		{c.NaNRate, injectNaN},
+		{c.InfRate, injectInf},
+		{c.SpikeRate, injectSpike},
+	} {
+		if u < class.rate {
+			return class.out
+		}
+		u -= class.rate
+	}
+	return ok
+}
+
+// siteID hashes the canonical run key of one measurement cell.
+func siteID(w sim.Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sim.RunKey(w, oc, p, arch)))
+	return h.Sum64()
+}
+
+// Run implements sim.Runner: it may fault instead of (or on top of) the
+// wrapped measurement. Permanent simulator errors (crashes, invalid
+// settings) pass through untouched — they are real profiling outcomes,
+// not faults.
+func (in *Injector) Run(w sim.Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (sim.Result, error) {
+	in.attempts.Add(1)
+	site := siteID(w, oc, p, arch)
+	attempt, budgetLeft := in.begin(site)
+	out := ok
+	if budgetLeft {
+		out = in.decide(site, attempt)
+	}
+
+	switch out {
+	case injectPanic:
+		in.spend(site)
+		in.panics.Add(1)
+		panic(InjectedPanic{Site: site, Attempt: attempt})
+	case injectTransient:
+		in.spend(site)
+		in.transients.Add(1)
+		return sim.Result{}, &TransientError{Site: site, Attempt: attempt}
+	}
+
+	r, err := in.next.Run(w, oc, p, arch)
+	if err != nil {
+		return r, err
+	}
+	switch out {
+	case injectNaN:
+		in.spend(site)
+		in.nans.Add(1)
+		r.Time = math.NaN()
+	case injectInf:
+		in.spend(site)
+		in.infs.Add(1)
+		r.Time = math.Inf(1)
+	case injectSpike:
+		in.spend(site)
+		in.spikes.Add(1)
+		r.Time *= in.cfg.spikeFactor()
+	}
+	return r, nil
+}
+
+var _ sim.Runner = (*Injector)(nil)

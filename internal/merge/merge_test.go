@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -83,7 +84,7 @@ func realMatrices(t *testing.T) ([][][]float64, *profile.Dataset) {
 		t.Fatal(err)
 	}
 	p := profile.NewProfiler(6, 11)
-	d, err := p.Collect(corpus, gpu.Catalog())
+	d, err := p.Collect(context.Background(), corpus, gpu.Catalog())
 	if err != nil {
 		t.Fatal(err)
 	}

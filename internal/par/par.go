@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +34,34 @@ func Workers(requested, jobs int) int {
 		w = 1
 	}
 	return w
+}
+
+// PanicError is a job panic converted to an error: the pool recovers
+// panics in workers so one bad job cannot crash the whole process, and
+// surfaces them through the same IndexedError aggregation as ordinary
+// failures. Value is the recovered panic value and Stack the goroutine
+// stack captured at recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Transient marks recovered panics as retryable to retry layers that
+// classify with a Transient() method: a panicking measurement is a fault
+// to re-attempt, not a verdict about the cell.
+func (e *PanicError) Transient() bool { return true }
+
+// safeCall invokes fn(i), converting a panic into a *PanicError.
+func safeCall(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
 }
 
 // IndexedError ties one job failure to the index it occurred at.
@@ -81,8 +110,10 @@ func (e Errors) First() error { return e[0].Err }
 // ForEach runs fn(i) for every i in [0, n) on at most `workers`
 // goroutines (Workers semantics for workers <= 0). Every job runs even
 // if earlier jobs fail; failures are aggregated into an Errors value
-// ordered by index. Cancelling ctx stops new jobs from being dispatched
-// and returns ctx.Err(); in-flight jobs complete first.
+// ordered by index. A panicking job is recovered rather than crashing
+// the process and surfaces as an IndexedError wrapping a *PanicError.
+// Cancelling ctx stops new jobs from being dispatched and returns
+// ctx.Err(); in-flight jobs complete first.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -100,7 +131,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if err := fn(i); err != nil {
+			if err := safeCall(fn, i); err != nil {
 				errs = append(errs, IndexedError{Index: i, Err: err})
 			}
 		}
@@ -125,7 +156,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 				if i >= n || ctx.Err() != nil {
 					break
 				}
-				if err := fn(i); err != nil {
+				if err := safeCall(fn, i); err != nil {
 					local = append(local, IndexedError{Index: i, Err: err})
 				}
 			}

@@ -168,3 +168,77 @@ func TestIndexedErrorUnwrap(t *testing.T) {
 		t.Fatalf("errors.Is failed to find sentinel through %v", err)
 	}
 }
+
+// TestPanicRecoveredSerial is the regression for the satellite fix: a
+// panicking job on the serial fast path must surface as an IndexedError
+// wrapping *PanicError instead of crashing the process.
+func TestPanicRecoveredSerial(t *testing.T) {
+	err := ForEach(context.Background(), 5, 1, func(i int) error {
+		if i == 3 {
+			panic("boom-serial")
+		}
+		return nil
+	})
+	assertPanicErr(t, err, 3, "boom-serial")
+}
+
+// TestPanicRecoveredParallel checks the same on the worker-pool path,
+// and that remaining jobs still run.
+func TestPanicRecoveredParallel(t *testing.T) {
+	var ran int32
+	err := ForEach(context.Background(), 64, 8, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 17 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		return nil
+	})
+	assertPanicErr(t, err, 17, "boom-17")
+	if n := atomic.LoadInt32(&ran); n != 64 {
+		t.Fatalf("%d jobs ran, want all 64 despite the panic", n)
+	}
+}
+
+// TestPanicRecoveredMap checks Map discards partials and aggregates the
+// panic like any other failure.
+func TestPanicRecoveredMap(t *testing.T) {
+	out, err := Map(context.Background(), 8, 4, func(i int) (int, error) {
+		if i == 5 {
+			panic(errors.New("boom-map"))
+		}
+		return i, nil
+	})
+	if out != nil {
+		t.Fatalf("partial results %v survived a panic", out)
+	}
+	assertPanicErr(t, err, 5, "boom-map")
+}
+
+// assertPanicErr unpacks the Errors aggregate down to the *PanicError
+// and checks index, value rendering, and a captured stack.
+func assertPanicErr(t *testing.T, err error, index int, want string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("panic was swallowed: nil error")
+	}
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("err %T is not Errors: %v", err, err)
+	}
+	if len(errs) != 1 || errs[0].Index != index {
+		t.Fatalf("aggregate %v, want single failure at index %d", errs, index)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no *PanicError in chain: %v", err)
+	}
+	if got := fmt.Sprint(pe.Value); got != want {
+		t.Fatalf("panic value %q, want %q", got, want)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured at recovery")
+	}
+	if !pe.Transient() {
+		t.Fatal("recovered panic must classify as transient")
+	}
+}

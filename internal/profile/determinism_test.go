@@ -1,6 +1,7 @@
 package profile_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -17,7 +18,7 @@ func collect(t testing.TB, corpus []stencil.Stencil, archs []gpu.Arch, workers i
 	t.Helper()
 	p := profile.NewProfiler(4, testutil.CorpusSeed+1)
 	p.Workers = workers
-	d, err := p.Collect(corpus, archs)
+	d, err := p.Collect(context.Background(), corpus, archs)
 	if err != nil {
 		t.Fatalf("collect (workers=%d): %v", workers, err)
 	}
@@ -67,7 +68,7 @@ func TestCollectMatchesProfileOneLoop(t *testing.T) {
 	for ai, a := range archs {
 		ref.Profiles[ai] = make([]profile.Profile, len(corpus))
 		for si, s := range corpus {
-			prof, inst, err := p.ProfileOne(si, s, a)
+			prof, inst, err := p.ProfileOne(context.Background(), si, s, a)
 			if err != nil {
 				t.Fatalf("ProfileOne(%d, %s): %v", si, a.Name, err)
 			}
@@ -90,7 +91,7 @@ func benchCollect(b *testing.B, workers int) {
 		p := profile.NewProfiler(4, testutil.CorpusSeed+1)
 		p.Model = sim.New()
 		p.Workers = workers
-		if _, err := p.Collect(corpus, archs); err != nil {
+		if _, err := p.Collect(context.Background(), corpus, archs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package profile_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"stencilmart/internal/profile"
@@ -14,7 +15,7 @@ func validDatasetBytes(t testing.TB) []byte {
 	t.Helper()
 	p := profile.NewProfiler(2, testutil.CorpusSeed+1)
 	corpus := testutil.SmallCorpus(t)
-	d, err := p.Collect(corpus[:3], testutil.AllArchs(t)[:1])
+	d, err := p.Collect(context.Background(), corpus[:3], testutil.AllArchs(t)[:1])
 	if err != nil {
 		t.Fatalf("seed dataset: %v", err)
 	}

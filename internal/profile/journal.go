@@ -1,0 +1,189 @@
+package profile
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/par"
+	"stencilmart/internal/persist"
+	"stencilmart/internal/stencil"
+)
+
+// The collection journal is an append-only WAL of completed (stencil,
+// architecture) cells. A killed or faulted Collect loses at most its
+// in-flight cells: rerunning against the same journal replays the
+// completed ones and re-measures only what is missing. The WAL layer
+// (internal/persist) detects corrupt or truncated tails and drops them,
+// so damage costs exactly the damaged cells. Because every cell derives
+// its rng from the profiler seed alone, a resumed collection assembles a
+// dataset bitwise-identical to an uninterrupted run.
+const (
+	// JournalKind and JournalVersion frame the journal in the persist
+	// envelope; version bumps whenever journalCell or journalMeta change
+	// incompatibly.
+	JournalKind    = "stencilmart-profile-journal"
+	JournalVersion = 1
+)
+
+// ErrJournalMismatch reports a journal written by a different collection
+// — another corpus, seed, search budget, or trial count. Resuming it
+// would splice incompatible measurements into one dataset, so the caller
+// must delete the journal (or restore the matching configuration).
+var ErrJournalMismatch = errors.New("profile: journal does not match this collection")
+
+// journalMeta pins the collection identity a journal belongs to.
+type journalMeta struct {
+	Seed         int64  `json:"seed"`
+	SamplesPerOC int    `json:"samples_per_oc"`
+	Trials       int    `json:"trials"`
+	Corpus       string `json:"corpus"` // sha256 of the stencil corpus + arch names
+	Cells        int    `json:"cells"`
+}
+
+// journalCell is one completed cell's record.
+type journalCell struct {
+	Index     int        `json:"index"`
+	Profile   Profile    `json:"profile"`
+	Instances []Instance `json:"instances"`
+}
+
+// ResumeStats reports what CollectJournal recovered versus re-measured.
+type ResumeStats struct {
+	// Cells is the total cell count of the collection.
+	Cells int
+	// Resumed cells were replayed from the journal.
+	Resumed int
+	// Measured cells were (re-)measured this run.
+	Measured int
+	// RepairedBytes counts journal bytes dropped from a damaged tail.
+	RepairedBytes int64
+}
+
+// journalMeta computes this profiler+corpus identity.
+func (p *Profiler) journalMeta(stencils []stencil.Stencil, archs []gpu.Arch) (journalMeta, error) {
+	trials := p.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	names := make([]string, len(archs))
+	for i, a := range archs {
+		names[i] = a.Name
+	}
+	raw, err := json.Marshal(struct {
+		Stencils []stencil.Stencil `json:"stencils"`
+		Archs    []string          `json:"archs"`
+	}{stencils, names})
+	if err != nil {
+		return journalMeta{}, err
+	}
+	sum := sha256.Sum256(raw)
+	return journalMeta{
+		Seed:         p.Seed,
+		SamplesPerOC: p.SamplesPerOC,
+		Trials:       trials,
+		Corpus:       hex.EncodeToString(sum[:]),
+		Cells:        len(stencils) * len(archs),
+	}, nil
+}
+
+// CollectJournal is Collect with crash resumption: completed cells are
+// appended to the journal at path as they finish, and an existing
+// journal's cells are replayed instead of re-measured. The assembled
+// dataset is bitwise-identical to an uninterrupted Collect. On failure
+// (cancellation, a cell exhausting its retries) the journal keeps every
+// completed cell; rerun with the same arguments to resume.
+func (p *Profiler) CollectJournal(ctx context.Context, path string, stencils []stencil.Stencil, archs []gpu.Arch) (*Dataset, ResumeStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var stats ResumeStats
+	if len(stencils) == 0 || len(archs) == 0 {
+		return nil, stats, fmt.Errorf("profile: empty corpus (%d stencils, %d archs)", len(stencils), len(archs))
+	}
+	meta, err := p.journalMeta(stencils, archs)
+	if err != nil {
+		return nil, stats, err
+	}
+	wal, replay, err := persist.OpenWAL(path, JournalKind, JournalVersion, meta)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer wal.Close()
+
+	var got journalMeta
+	if err := json.Unmarshal(replay.Meta, &got); err != nil {
+		return nil, stats, fmt.Errorf("%w: unreadable journal meta: %v", ErrJournalMismatch, err)
+	}
+	if got != meta {
+		return nil, stats, fmt.Errorf("%w: journal holds %+v, this collection is %+v", ErrJournalMismatch, got, meta)
+	}
+
+	n := meta.Cells
+	stats.Cells = n
+	stats.RepairedBytes = replay.TruncatedBytes
+	done := make([]*journalCell, n)
+	for _, raw := range replay.Records {
+		var c journalCell
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, stats, fmt.Errorf("%w: journal record: %v", ErrJournalMismatch, err)
+		}
+		if c.Index < 0 || c.Index >= n {
+			return nil, stats, fmt.Errorf("%w: journal cell index %d outside [0,%d)", ErrJournalMismatch, c.Index, n)
+		}
+		if done[c.Index] == nil {
+			stats.Resumed++
+		}
+		cell := c
+		done[c.Index] = &cell
+	}
+
+	var remaining []int
+	for i := range done {
+		if done[i] == nil {
+			remaining = append(remaining, i)
+		}
+	}
+	stats.Measured = len(remaining)
+
+	p.model() // resolve the lazy model before workers race to do it
+	err = par.ForEach(ctx, len(remaining), p.Workers, func(j int) error {
+		i := remaining[j]
+		prof, inst, err := p.profileCell(ctx, i, stencils, archs)
+		if err != nil {
+			return err
+		}
+		c := &journalCell{Index: i, Profile: prof, Instances: inst}
+		if err := wal.Append(c); err != nil {
+			return err
+		}
+		done[i] = c
+		return nil
+	})
+	if err != nil {
+		var errs par.Errors
+		if errors.As(err, &errs) {
+			return nil, stats, errs.First()
+		}
+		return nil, stats, err
+	}
+
+	// Assemble in cell-index order — the same order Collect uses, so the
+	// resumed dataset is byte-identical to an uninterrupted one.
+	d := &Dataset{Stencils: stencils}
+	d.Archs = append(d.Archs, archs...)
+	d.Profiles = make([][]Profile, len(archs))
+	nS := len(stencils)
+	for ai := range archs {
+		d.Profiles[ai] = make([]Profile, nS)
+	}
+	for i, c := range done {
+		d.Profiles[i/nS][i%nS] = c.Profile
+		d.Instances = append(d.Instances, c.Instances...)
+	}
+	return d, stats, nil
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
@@ -96,10 +97,18 @@ type Instance struct {
 	Time       float64
 }
 
-// Profiler drives data collection against the simulation substrate.
+// Profiler drives data collection against the simulation substrate,
+// absorbing the measurement faults real profiling campaigns hit:
+// transient errors and panics retry with capped backoff, non-finite
+// samples are rejected at the source, and repeated trials vote out
+// timing outliers by median.
 type Profiler struct {
 	// Model is the GPU substrate; nil uses sim.New().
 	Model *sim.Model
+	// Runner overrides the measurement path; nil measures on Model.
+	// The fault injector and test doubles hook in here — Model stays
+	// the clean substrate prediction-time consumers share.
+	Runner sim.Runner
 	// SamplesPerOC is the number of random parameter settings searched
 	// per OC (the paper's random search budget).
 	SamplesPerOC int
@@ -109,6 +118,16 @@ type Profiler struct {
 	Seed int64
 	// Workers bounds the profiling goroutines; 0 uses GOMAXPROCS.
 	Workers int
+	// Retry governs transient-fault retries per measurement.
+	Retry RetryPolicy
+	// Trials is the number of repeated measurements per sampled setting;
+	// the median time is recorded. <= 1 measures once. Use an odd count:
+	// the median of an odd trial set is an observed value, bitwise, so
+	// determinism survives outlier rejection.
+	Trials int
+	// CellTimeout bounds one (stencil, arch) cell's wall-clock time;
+	// 0 means no per-cell deadline.
+	CellTimeout time.Duration
 
 	// modelMu guards the lazy Model initialization: ProfileOne may be
 	// called concurrently from Collect's worker pool (or by users), and
@@ -130,12 +149,27 @@ func (p *Profiler) model() *sim.Model {
 	return p.Model
 }
 
+// runner resolves the measurement path: the installed Runner, or the
+// (lazily constructed) clean model.
+func (p *Profiler) runner() sim.Runner {
+	if p.Runner != nil {
+		return p.Runner
+	}
+	return p.model()
+}
+
 // ProfileOne profiles a single stencil on a single architecture.
-func (p *Profiler) ProfileOne(stencilIdx int, s stencil.Stencil, arch gpu.Arch) (Profile, []Instance, error) {
+// Transient measurement faults are retried per the profiler's policy; a
+// measurement that exhausts its retries, or a cancelled/expired ctx,
+// fails the cell.
+func (p *Profiler) ProfileOne(ctx context.Context, stencilIdx int, s stencil.Stencil, arch gpu.Arch) (Profile, []Instance, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.SamplesPerOC < 1 {
 		return Profile{}, nil, fmt.Errorf("profile: samples per OC %d < 1", p.SamplesPerOC)
 	}
-	m := p.model()
+	run := p.runner()
 	w := sim.DefaultWorkload(s)
 	combos := opt.Combinations()
 	prof := Profile{
@@ -151,8 +185,13 @@ func (p *Profiler) ProfileOne(stencilIdx int, s stencil.Stencil, arch gpu.Arch) 
 		res := OCResult{OC: oc, Time: math.NaN(), Crashed: true}
 		for k := 0; k < p.SamplesPerOC; k++ {
 			params := opt.Sample(oc, s.Dims, rng)
-			r, err := m.Run(w, oc, params, arch)
+			r, err := p.measure(ctx, run, w, oc, params, arch)
 			if err != nil {
+				if cellFailure(err) {
+					return Profile{}, nil, fmt.Errorf("profile: stencil %q %s on %s: %w", s.Name, oc, arch.Name, err)
+				}
+				// Permanent outcome (crash, invalid setting): the paper's
+				// "OC crashes under certain stencils" case — skip the sample.
 				continue
 			}
 			instances = append(instances, Instance{
@@ -178,13 +217,30 @@ func (p *Profiler) ProfileOne(stencilIdx int, s stencil.Stencil, arch gpu.Arch) 
 	return prof, instances, nil
 }
 
+// profileCell measures one (stencil, architecture) cell, applying the
+// profiler's per-cell deadline if one is configured.
+func (p *Profiler) profileCell(ctx context.Context, i int, stencils []stencil.Stencil, archs []gpu.Arch) (Profile, []Instance, error) {
+	nS := len(stencils)
+	if p.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.CellTimeout)
+		defer cancel()
+	}
+	return p.ProfileOne(ctx, i%nS, stencils[i%nS], archs[i/nS])
+}
+
 // Collect profiles the full corpus on every architecture, in parallel
 // across (stencil, architecture) cells on the shared par worker pool,
 // and assembles the dataset. Each cell derives its own rng from Seed and
 // results are collected in cell-index order, so the dataset is
 // byte-identical for any worker count (the serial reference is
 // Workers == 1) — the property the differential suite enforces.
-func (p *Profiler) Collect(stencils []stencil.Stencil, archs []gpu.Arch) (*Dataset, error) {
+// Cancelling ctx stops dispatch after in-flight cells finish; for a
+// collection that survives kills, see CollectJournal.
+func (p *Profiler) Collect(ctx context.Context, stencils []stencil.Stencil, archs []gpu.Arch) (*Dataset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(stencils) == 0 || len(archs) == 0 {
 		return nil, fmt.Errorf("profile: empty corpus (%d stencils, %d archs)", len(stencils), len(archs))
 	}
@@ -203,8 +259,8 @@ func (p *Profiler) Collect(stencils []stencil.Stencil, archs []gpu.Arch) (*Datas
 		inst []Instance
 	}
 	nS := len(stencils)
-	cells, err := par.Map(context.Background(), len(archs)*nS, p.Workers, func(i int) (cell, error) {
-		prof, inst, err := p.ProfileOne(i%nS, stencils[i%nS], archs[i/nS])
+	cells, err := par.Map(ctx, len(archs)*nS, p.Workers, func(i int) (cell, error) {
+		prof, inst, err := p.profileCell(ctx, i, stencils, archs)
 		if err != nil {
 			return cell{}, err
 		}

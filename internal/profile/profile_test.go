@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func smallDataset(t *testing.T) *Dataset {
 	}
 	p := NewProfiler(8, 42)
 	archs := gpu.Catalog()[:2]
-	d, err := p.Collect(corpus, archs)
+	d, err := p.Collect(context.Background(), corpus, archs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func smallDataset(t *testing.T) *Dataset {
 func TestProfileOne(t *testing.T) {
 	p := NewProfiler(6, 1)
 	arch, _ := gpu.ByName("V100")
-	prof, inst, err := p.ProfileOne(0, stencil.Star(2, 1), arch)
+	prof, inst, err := p.ProfileOne(context.Background(), 0, stencil.Star(2, 1), arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +68,13 @@ func TestProfileDeterministicAcrossWorkers(t *testing.T) {
 	archs := gpu.Catalog()[:2]
 	p1 := NewProfiler(5, 9)
 	p1.Workers = 1
-	d1, err := p1.Collect(corpus, archs)
+	d1, err := p1.Collect(context.Background(), corpus, archs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p2 := NewProfiler(5, 9)
 	p2.Workers = 8
-	d2, err := p2.Collect(corpus, archs)
+	d2, err := p2.Collect(context.Background(), corpus, archs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,11 +199,11 @@ func TestFolds(t *testing.T) {
 func TestProfilerErrors(t *testing.T) {
 	p := NewProfiler(0, 1)
 	arch, _ := gpu.ByName("V100")
-	if _, _, err := p.ProfileOne(0, stencil.Star(2, 1), arch); err == nil {
+	if _, _, err := p.ProfileOne(context.Background(), 0, stencil.Star(2, 1), arch); err == nil {
 		t.Error("zero samples accepted")
 	}
 	p2 := NewProfiler(4, 1)
-	if _, err := p2.Collect(nil, gpu.Catalog()); err == nil {
+	if _, err := p2.Collect(context.Background(), nil, gpu.Catalog()); err == nil {
 		t.Error("empty corpus accepted")
 	}
 }

@@ -1,0 +1,206 @@
+package profile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"stencilmart/internal/fault"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/par"
+	"stencilmart/internal/sim"
+)
+
+// Retry defaults: measurement faults only exist on real (or
+// fault-injected) substrates, so the defaults favor quick recovery —
+// a handful of attempts with millisecond-scale capped backoff.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 5 * time.Millisecond
+	DefaultMaxDelay    = 250 * time.Millisecond
+)
+
+// RetryPolicy governs how one measurement attempt is retried after a
+// transient fault (injected errors, recovered panics, non-finite
+// samples). Permanent outcomes — kernel crashes and invalid settings —
+// are never retried; they are real profiling results.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per measurement (first try
+	// included); <= 0 selects DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry up to MaxDelay. <= 0 selects the defaults.
+	BaseDelay, MaxDelay time.Duration
+	// Sleep is the injectable clock; nil means time.Sleep. Tests install
+	// a fake to count and inspect backoff without waiting.
+	Sleep func(time.Duration)
+}
+
+func (rp RetryPolicy) maxAttempts() int {
+	if rp.MaxAttempts > 0 {
+		return rp.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// Backoff returns the capped exponential delay before retry number
+// `retry` (1-based): base, 2*base, 4*base, ... capped at MaxDelay.
+func (rp RetryPolicy) Backoff(retry int) time.Duration {
+	base, lim := rp.BaseDelay, rp.MaxDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	if lim <= 0 {
+		lim = DefaultMaxDelay
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= lim {
+			return lim
+		}
+	}
+	if d > lim {
+		return lim
+	}
+	return d
+}
+
+func (rp RetryPolicy) sleep(d time.Duration) {
+	if rp.Sleep != nil {
+		rp.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// NonFiniteError rejects a NaN or Inf sample at the source: a non-finite
+// time is a measurement fault, never a profiling result, so it is
+// retried like a transient error and can never reach the dataset.
+type NonFiniteError struct {
+	Time float64
+}
+
+// Error implements error.
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("profile: non-finite measured time %v", e.Time)
+}
+
+// Transient marks the sample as retryable.
+func (e *NonFiniteError) Transient() bool { return true }
+
+// GiveUpError reports that every retry attempt of one measurement
+// faulted; Last is the final attempt's fault.
+type GiveUpError struct {
+	Attempts int
+	Last     error
+}
+
+// Error implements error.
+func (e *GiveUpError) Error() string {
+	return fmt.Sprintf("profile: gave up after %d attempts: %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final fault to errors.Is/As.
+func (e *GiveUpError) Unwrap() error { return e.Last }
+
+// runRecover executes one measurement attempt, converting a panic in the
+// substrate into a retryable *par.PanicError instead of unwinding the
+// worker.
+func runRecover(run sim.Runner, w sim.Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (res sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &par.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return run.Run(w, oc, p, arch)
+}
+
+// measureAttempts is the retry loop around one (setting, trial)
+// measurement: transient faults back off and retry up to the policy's
+// attempt budget; permanent outcomes return immediately.
+func (p *Profiler) measureAttempts(ctx context.Context, run sim.Runner, w sim.Workload, oc opt.Opt, params opt.Params, arch gpu.Arch) (sim.Result, error) {
+	pol := p.Retry
+	attempts := pol.maxAttempts()
+	var last error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return sim.Result{}, err
+		}
+		if a > 0 {
+			pol.sleep(pol.Backoff(a))
+		}
+		r, err := runRecover(run, w, oc, params, arch)
+		if err == nil && !finite(r.Time) {
+			err = &NonFiniteError{Time: r.Time}
+		}
+		if err == nil {
+			return r, nil
+		}
+		if !fault.IsTransient(err) {
+			return sim.Result{}, err
+		}
+		last = err
+	}
+	return sim.Result{}, &GiveUpError{Attempts: attempts, Last: last}
+}
+
+// measure runs the configured number of repeated trials of one setting
+// and keeps the median time — a single latency spike that slips past
+// the error path cannot move the recorded value as long as a majority
+// of trials are clean. The returned Result is the first trial's
+// breakdown with Time replaced by the median.
+func (p *Profiler) measure(ctx context.Context, run sim.Runner, w sim.Workload, oc opt.Opt, params opt.Params, arch gpu.Arch) (sim.Result, error) {
+	k := p.Trials
+	if k < 1 {
+		k = 1
+	}
+	var rep sim.Result
+	times := make([]float64, k)
+	for t := 0; t < k; t++ {
+		r, err := p.measureAttempts(ctx, run, w, oc, params, arch)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if t == 0 {
+			rep = r
+		}
+		times[t] = r.Time
+	}
+	rep.Time = medianTimes(times)
+	return rep, nil
+}
+
+// cellFailure classifies a measurement error as fatal for the cell:
+// exhausted retries and cancellation fail the cell, while permanent
+// simulator outcomes (crashes, invalid settings) are ordinary profiling
+// results the sample loop skips.
+func cellFailure(err error) bool {
+	var give *GiveUpError
+	return errors.As(err, &give) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// medianTimes returns the median of the measured trial times.
+func medianTimes(ts []float64) float64 {
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	s := append([]float64(nil), ts...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

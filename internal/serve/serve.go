@@ -25,6 +25,23 @@ import (
 // DefaultTimeout bounds one request's prediction work.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultMaxInFlight bounds concurrently admitted /predict requests;
+// excess load is shed with 503 instead of queueing without bound behind
+// the serialized model.
+const DefaultMaxInFlight = 8
+
+// MaxRequestBytes bounds a /predict body; larger requests get 413.
+const MaxRequestBytes = 1 << 20
+
+// Options tunes the hardened server; zero values select the defaults.
+type Options struct {
+	// Timeout bounds one request's prediction work (DefaultTimeout if 0).
+	Timeout time.Duration
+	// MaxInFlight bounds admitted /predict requests (DefaultMaxInFlight
+	// if 0); requests beyond it are shed with 503 + Retry-After.
+	MaxInFlight int
+}
+
 // endpointStats aggregates per-endpoint counters with atomics so the
 // stats page never contends with request handling.
 type endpointStats struct {
@@ -70,28 +87,72 @@ type Server struct {
 	healthz endpointStats
 	statsz  endpointStats
 	predict endpointStats
+
+	// inflight is the /predict admission semaphore; fault counters feed
+	// the /statsz fault snapshot.
+	inflight chan struct{}
+	panics   atomic.Uint64
+	shed     atomic.Uint64
+	oversize atomic.Uint64
+
+	// predictFn is the prediction step; tests substitute doubles that
+	// block or panic. Callers of it must hold mu.
+	predictFn func(archName string, s stencil.Stencil) (*core.ServePrediction, error)
 }
 
-// New wraps a trained framework in a server. The framework must already
-// hold trained models (TrainAll or a loaded checkpoint).
+// New wraps a trained framework in a server with default hardening. The
+// framework must already hold trained models (TrainAll or a loaded
+// checkpoint).
 func New(fw *core.Framework, timeout time.Duration) (*Server, error) {
+	return NewWithOptions(fw, Options{Timeout: timeout})
+}
+
+// NewWithOptions is New with explicit hardening knobs.
+func NewWithOptions(fw *core.Framework, opts Options) (*Server, error) {
 	if fw.Trained == nil {
 		return nil, fmt.Errorf("serve: framework has no trained models (train or load a checkpoint first)")
 	}
-	if timeout <= 0 {
-		timeout = DefaultTimeout
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
 	}
-	return &Server{fw: fw, timeout: timeout, started: time.Now()}, nil
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Server{
+		fw:       fw,
+		timeout:  opts.Timeout,
+		started:  time.Now(),
+		inflight: make(chan struct{}, opts.MaxInFlight),
+	}
+	s.predictFn = s.fw.ServePredict
+	return s, nil
 }
 
-// Handler returns the service's HTTP handler with request timeouts
-// applied to the prediction endpoint.
+// Handler returns the service's HTTP handler: panic recovery around
+// everything, request timeouts on the prediction endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.Handle("/predict", http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, `{"error":"prediction timed out"}`))
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a panicking handler into a 500 JSON error and a
+// counted fault instead of a closed connection — one poisoned request
+// must not look like a server crash to every other client.
+// http.TimeoutHandler re-raises handler panics on the serving goroutine,
+// so panics under the timeout wrapper land here too.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("internal error: %v", v)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Run serves on addr until ctx is cancelled, then shuts down gracefully
@@ -163,6 +224,18 @@ type StatsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	SimCache      SimCacheSnapshot            `json:"sim_cache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Faults        FaultSnapshot               `json:"faults"`
+}
+
+// FaultSnapshot reports the hardening counters: every time the server
+// absorbed a fault instead of failing.
+type FaultSnapshot struct {
+	// PanicsRecovered counts handler panics converted to 500 responses.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// LoadShed counts /predict requests refused with 503 at capacity.
+	LoadShed uint64 `json:"load_shed"`
+	// OversizeRequests counts bodies refused with 413.
+	OversizeRequests uint64 `json:"oversize_requests"`
 }
 
 // SimCacheSnapshot reports the simulator memoization counters.
@@ -192,6 +265,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"healthz": s.healthz.snapshot(),
 			"statsz":  s.statsz.snapshot(),
 			"predict": s.predict.snapshot(),
+		},
+		Faults: FaultSnapshot{
+			PanicsRecovered:  s.panics.Load(),
+			LoadShed:         s.shed.Load(),
+			OversizeRequests: s.oversize.Load(),
 		},
 	})
 }
@@ -247,10 +325,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
 	}
+
+	// Admission control: shed load beyond the in-flight cap instead of
+	// queueing unboundedly behind the serialized model.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server at capacity, retry later"})
+		return
+	}
+
 	var req PredictRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.oversize.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -264,9 +362,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	pred, err := s.fw.ServePredict(req.GPU, st)
-	s.mu.Unlock()
+	// The unlock is deferred inside the closure so a panicking predict
+	// releases the model mutex on its way to the recovery middleware.
+	pred, err := func() (*core.ServePrediction, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.predictFn(req.GPU, st)
+	}()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if strings.Contains(err.Error(), "unknown") ||

@@ -26,12 +26,12 @@ var (
 func testServer(t *testing.T) *Server {
 	t.Helper()
 	srvOnce.Do(func() {
-		fw, err := core.Build(core.SmokeConfig())
+		fw, err := core.Build(context.Background(), core.SmokeConfig())
 		if err != nil {
 			srvErr = err
 			return
 		}
-		if err := fw.TrainAll(core.ClassGBDT, core.RegGB); err != nil {
+		if err := fw.TrainAll(context.Background(), core.ClassGBDT, core.RegGB); err != nil {
 			srvErr = err
 			return
 		}
@@ -44,7 +44,7 @@ func testServer(t *testing.T) *Server {
 }
 
 func TestNewRequiresTrainedFramework(t *testing.T) {
-	fw, err := core.Build(core.SmokeConfig())
+	fw, err := core.Build(context.Background(), core.SmokeConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+)
+
+// Runner is the measurement abstraction the profiling pipeline consumes:
+// anything that can execute one (workload, OC, parameter setting,
+// architecture) cell and report a timed Result. *Model is the canonical
+// implementation; the fault injector wraps one, and tests substitute
+// doubles that count calls or fail on purpose.
+type Runner interface {
+	Run(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (Result, error)
+}
+
+// *Model implements Runner.
+var _ Runner = (*Model)(nil)
+
+// RunKey canonicalizes one measurement site to the same byte string the
+// memoization cache keys evaluations with. Wrappers that need stable
+// per-site identities across runs and worker schedules (the deterministic
+// fault injector) hash this key rather than inventing their own encoding.
+func RunKey(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) string {
+	return runKey(w, oc, p, arch)
+}

@@ -12,8 +12,10 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled) =="
+# -shuffle=on randomizes test and subtest order: tests that secretly
+# depend on a sibling's side effects fail here instead of in CI later.
+go test -shuffle=on ./...
 
 echo "== go test -race =="
 go test -race ./...
@@ -28,5 +30,10 @@ echo "== serve smoke =="
 # Train a tiny checkpoint, serve it on a random port, and exercise
 # /healthz and /predict over real HTTP — the deploy path end to end.
 sh scripts/serve_smoke.sh
+
+echo "== chaos smoke =="
+# Profile the smoke corpus cleanly and under deterministic fault
+# injection; the two dataset files must be byte-identical.
+sh scripts/chaos_smoke.sh
 
 echo "all checks passed"
