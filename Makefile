@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels fuzz
+.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels bench-trees fuzz
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,9 @@ bench:
 
 bench-kernels:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/linalg/ ./internal/ml/nn/
+
+bench-trees:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/ml/tree/
 
 fuzz:
 	$(GO) test ./internal/profile/ -fuzz FuzzDatasetRoundTrip -fuzztime 30s

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"stencilmart/internal/ml"
 	"stencilmart/internal/persist"
 	"stencilmart/internal/stencil"
 )
@@ -297,5 +298,87 @@ func TestServeRequiresTraining(t *testing.T) {
 	}
 	if err := fw.Save(&bytes.Buffer{}); err == nil {
 		t.Error("Save worked without training")
+	}
+}
+
+// TestSaveLoadBatchedTreePredictions extends the round-trip differential
+// to the tree ensembles' batched entry points: after Save → LoadFramework
+// the GBDT classifier's PredictProbaBatch and the GBRegressor-backed
+// batch regression must be bitwise identical to the original models' —
+// and to their own row-at-a-time paths.
+func TestSaveLoadBatchedTreePredictions(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lf, err := LoadFramework(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for arch, byDims := range fw.Trained.Classifiers {
+		for dims, cls := range byDims {
+			bc, ok := cls.(ml.BatchClassifier)
+			if !ok {
+				t.Fatalf("%s/%dD: trained GBDT does not implement BatchClassifier", arch, dims)
+			}
+			lbc, ok := lf.Trained.Classifiers[arch][dims].(ml.BatchClassifier)
+			if !ok {
+				t.Fatalf("%s/%dD: loaded GBDT does not implement BatchClassifier", arch, dims)
+			}
+			var rows [][]float64
+			for _, s := range ckptProbes() {
+				if s.Dims == dims {
+					rows = append(rows, classEncode(fw.Trained.ClassifierKind, s))
+				}
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			orig := bc.PredictProbaBatch(rows)
+			loaded := lbc.PredictProbaBatch(rows)
+			for i := range rows {
+				if !ckptSameBitsSlice(orig[i], loaded[i]) {
+					t.Fatalf("%s/%dD row %d: batch proba drift after reload: %v vs %v", arch, dims, i, orig[i], loaded[i])
+				}
+				if !ckptSameBitsSlice(orig[i], cls.PredictProba(rows[i])) {
+					t.Fatalf("%s/%dD row %d: batch proba differs from single-row path", arch, dims, i)
+				}
+			}
+		}
+	}
+
+	for dims, reg := range fw.Trained.Regressors {
+		if _, ok := reg.model.(ml.BatchRegressor); !ok {
+			t.Fatalf("%dD: trained GBRegressor does not implement BatchRegressor", dims)
+		}
+		ins := fw.dimsInstances(dims)
+		if len(ins) > 32 {
+			ins = ins[:32]
+		}
+		orig, err := reg.PredictSecondsBatch(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := lf.Trained.Regressors[dims].PredictSecondsBatch(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ckptSameBitsSlice(orig, loaded) {
+			t.Fatalf("%dD: batch regression drift after reload", dims)
+		}
+		for i, in := range ins {
+			single, err := reg.PredictSeconds(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ckptSameBits(orig[i], single) {
+				t.Fatalf("%dD instance %d: batch %v != single %v", dims, i, orig[i], single)
+			}
+		}
 	}
 }

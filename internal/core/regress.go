@@ -142,8 +142,9 @@ func (t *TrainedRegressor) PredictSeconds(in profile.Instance) (float64, error) 
 }
 
 // PredictSecondsBatch predicts execution times for many instances at
-// once, encoding all rows up front so batch-capable models (the nn
-// regressors) score the whole set in a single forward pass.
+// once, encoding all rows up front so batch-capable models score the
+// whole set in one pass — a single batched forward for the nn
+// regressors, one streamed traversal per tree for GBRegressor.
 func (t *TrainedRegressor) PredictSecondsBatch(ins []profile.Instance) ([]float64, error) {
 	rows := make([][]float64, len(ins))
 	for i, in := range ins {

@@ -23,9 +23,11 @@ type Regressor interface {
 }
 
 // BatchClassifier is implemented by classifiers that can score many rows
-// in one pass (the nn models run the whole set through a single batched
-// forward). Callers should go through PredictProbaAll, which falls back
-// to row-at-a-time prediction for models without the fast path.
+// in one pass: the nn models run the whole set through a single batched
+// forward, and the tree ensembles stream every row through each tree's
+// flat node array while it is cache-hot. Callers should go through
+// PredictProbaAll, which falls back to row-at-a-time prediction for
+// models without the fast path.
 type BatchClassifier interface {
 	Classifier
 	// PredictProbaBatch returns per-class probabilities for every row.

@@ -1,0 +1,107 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// benchData builds the fixed corpus shared by the training benchmarks:
+// continuous features (every column overflows the bin budget, so the
+// histogram path does real quantile binning) with a smooth regression
+// target and a label derived from a feature mix.
+func benchData(rows, feats, classes int) (x [][]float64, yv []float64, yc []int) {
+	rng := rand.New(rand.NewSource(42))
+	x = make([][]float64, rows)
+	yv = make([]float64, rows)
+	yc = make([]int, rows)
+	for i := range x {
+		x[i] = make([]float64, feats)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		yv[i] = 3*x[i][0] - 2*x[i][1]*x[i][1] + x[i][2]*x[i][3] + 0.1*rng.NormFloat64()
+		yc[i] = int(math.Abs(x[i][0]+2*x[i][1]+x[i][2])*2) % classes
+	}
+	return x, yv, yc
+}
+
+func benchModes(b *testing.B, run func(b *testing.B, mode SplitMode)) {
+	for _, mode := range []SplitMode{SplitExact, SplitHistogram} {
+		b.Run(mode.String(), func(b *testing.B) { run(b, mode) })
+	}
+}
+
+func BenchmarkGBDTTrain(b *testing.B) {
+	x, _, yc := benchData(1500, 12, 5)
+	benchModes(b, func(b *testing.B, mode SplitMode) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := NewGBDT(BoostConfig{Rounds: 15, Seed: 7, Tree: TreeConfig{MaxDepth: 6, Mode: mode}})
+			if err := g.FitClassifier(x, yc, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGBRegressorTrain(b *testing.B) {
+	x, yv, _ := benchData(1500, 12, 5)
+	benchModes(b, func(b *testing.B, mode SplitMode) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := NewGBRegressor(BoostConfig{Rounds: 40, Seed: 7, Tree: TreeConfig{MaxDepth: 6, MinLeaf: 3, Mode: mode}})
+			if err := g.FitRegressor(x, yv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTreePredictBatch(b *testing.B) {
+	x, yv, yc := benchData(4096, 12, 5)
+	tr, err := FitTree(x, yv, nil, allIdx(len(x)), TreeConfig{MaxDepth: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tree/row-at-a-time", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, row := range x {
+				sink += tr.Predict(row)
+			}
+		}
+		_ = sink
+	})
+	b.Run("tree/batched", func(b *testing.B) {
+		b.ReportAllocs()
+		out := make([]float64, len(x))
+		for i := 0; i < b.N; i++ {
+			out = tr.PredictBatch(x, out)
+		}
+		_ = out
+	})
+
+	// The ensemble paths are where batching pays: one score/softmax
+	// buffer per batch instead of per row, and every tree's node array
+	// streamed over all rows while hot.
+	g := NewGBDT(BoostConfig{Rounds: 15, Seed: 7, Tree: TreeConfig{MaxDepth: 6}})
+	if err := g.FitClassifier(x, yc, 5); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gbdt/row-at-a-time", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, row := range x {
+				_ = g.PredictProba(row)
+			}
+		}
+	})
+	b.Run("gbdt/batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.PredictProbaBatch(x)
+		}
+	})
+}

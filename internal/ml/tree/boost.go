@@ -16,6 +16,11 @@ import (
 // changes the fitted model.
 const parRowThreshold = 256
 
+// batchChunk is the rows-per-job granularity for parallel batched
+// prediction updates: chunks own disjoint sub-slices of the prediction
+// and routing-scratch arrays.
+const batchChunk = 512
+
 // BoostConfig controls gradient boosting for both the classifier and the
 // regressor.
 type BoostConfig struct {
@@ -55,6 +60,16 @@ func sampleRows(n int, frac float64, rng *rand.Rand) []int {
 	return idx
 }
 
+// ensembleHistIndex builds the shared histogram index for an ensemble
+// fit, or nil in exact mode. Bins depend only on x — not on gradients or
+// the per-round subsample — so one index serves every round and class.
+func ensembleHistIndex(x [][]float64, cfg TreeConfig) *histIndex {
+	if cfg.Mode != SplitHistogram {
+		return nil
+	}
+	return buildHistIndex(x, cfg.MaxBins)
+}
+
 // GBRegressor is a gradient-boosted regression ensemble with squared
 // loss — the stand-in for the paper's XGBoost GBRegressor.
 type GBRegressor struct {
@@ -69,10 +84,17 @@ func NewGBRegressor(cfg BoostConfig) *GBRegressor {
 	return &GBRegressor{cfg: cfg}
 }
 
-// FitRegressor implements ml.Regressor.
+// FitRegressor implements ml.Regressor. Inputs containing NaN or ±Inf
+// are rejected with an error wrapping ErrNonFinite.
 func (g *GBRegressor) FitRegressor(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("tree: GBRegressor fit with %d rows, %d targets", len(x), len(y))
+	}
+	if err := checkFeatures(x); err != nil {
+		return err
+	}
+	if err := checkFinite("target", y); err != nil {
+		return err
 	}
 	rng := rand.New(rand.NewSource(g.cfg.Seed + 1))
 	g.base = 0
@@ -81,6 +103,7 @@ func (g *GBRegressor) FitRegressor(x [][]float64, y []float64) error {
 	}
 	g.base /= float64(len(y))
 
+	hi := ensembleHistIndex(x, g.cfg.Tree)
 	pred := make([]float64, len(y))
 	for i := range pred {
 		pred[i] = g.base
@@ -92,7 +115,7 @@ func (g *GBRegressor) FitRegressor(x [][]float64, y []float64) error {
 			resid[i] = y[i] - pred[i]
 		}
 		idx := sampleRows(len(y), g.cfg.Subsample, rng)
-		t, err := FitTree(x, resid, nil, idx, g.cfg.Tree)
+		t, err := fitTree(x, resid, nil, idx, g.cfg.Tree, hi)
 		if err != nil {
 			return err
 		}
@@ -102,18 +125,23 @@ func (g *GBRegressor) FitRegressor(x [][]float64, y []float64) error {
 	return nil
 }
 
-// applyTree adds lr * t.Predict(x[i]) to pred[i] for every row, in
-// parallel for large batches. Each row writes only its own slot, so the
-// result is identical to the serial loop under any GOMAXPROCS.
+// applyTree adds lr * t(x[i]) to pred[i] for every row via the batched
+// flat-tree traversal, in parallel chunks for large batches. Each chunk
+// owns a disjoint sub-slice of pred, so the result is identical to the
+// serial loop under any GOMAXPROCS.
 func applyTree(pred []float64, x [][]float64, t *Tree, lr float64) {
 	if len(pred) < parRowThreshold {
-		for i := range pred {
-			pred[i] += lr * t.Predict(x[i])
-		}
+		t.accumBatch(x, pred, lr)
 		return
 	}
-	par.ForEach(context.Background(), len(pred), 0, func(i int) error {
-		pred[i] += lr * t.Predict(x[i])
+	chunks := (len(pred) + batchChunk - 1) / batchChunk
+	par.ForEach(context.Background(), chunks, 0, func(c int) error {
+		lo := c * batchChunk
+		hi := lo + batchChunk
+		if hi > len(pred) {
+			hi = len(pred)
+		}
+		t.accumBatch(x[lo:hi], pred[lo:hi], lr)
 		return nil
 	})
 }
@@ -125,6 +153,29 @@ func (g *GBRegressor) PredictValue(row []float64) float64 {
 		out += g.cfg.LearningRate * t.Predict(row)
 	}
 	return out
+}
+
+// PredictBatch evaluates every row in one pass per tree, reusing one
+// routing-scratch slice across the ensemble. Each row's result is
+// bitwise identical to PredictValue on that row: trees accumulate in the
+// same ascending order with the same per-row operations.
+func (g *GBRegressor) PredictBatch(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(rows))
+	for i := range out {
+		out[i] = g.base
+	}
+	for _, t := range g.trees {
+		t.accumBatch(rows, out, g.cfg.LearningRate)
+	}
+	return out
+}
+
+// PredictValueBatch implements ml.BatchRegressor.
+func (g *GBRegressor) PredictValueBatch(rows [][]float64) []float64 {
+	return g.PredictBatch(rows)
 }
 
 // NumTrees returns the fitted ensemble size.
@@ -146,7 +197,8 @@ func NewGBDT(cfg BoostConfig) *GBDT {
 	return &GBDT{cfg: cfg}
 }
 
-// FitClassifier implements ml.Classifier.
+// FitClassifier implements ml.Classifier. Feature matrices containing
+// NaN or ±Inf are rejected with an error wrapping ErrNonFinite.
 func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("tree: GBDT fit with %d rows, %d labels", len(x), len(y))
@@ -158,6 +210,9 @@ func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 		if l < 0 || l >= numClasses {
 			return fmt.Errorf("tree: label %d at row %d outside [0,%d)", l, i, numClasses)
 		}
+	}
+	if err := checkFeatures(x); err != nil {
+		return err
 	}
 	rng := rand.New(rand.NewSource(g.cfg.Seed + 2))
 	g.classes = numClasses
@@ -172,6 +227,7 @@ func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 		g.prior[k] = math.Log((counts[k] + 1) / float64(len(y)+numClasses))
 	}
 
+	hi := ensembleHistIndex(x, g.cfg.Tree)
 	n := len(x)
 	scores := make([][]float64, n)
 	for i := range scores {
@@ -203,13 +259,15 @@ func (g *GBDT) FitClassifier(x [][]float64, y []int, numClasses int) error {
 				grad[i] = (yk - p) * kf
 				hess[i] = p * (1 - p) * kf
 			}
-			t, err := FitTree(x, grad, hess, idx, g.cfg.Tree)
+			t, err := fitTree(x, grad, hess, idx, g.cfg.Tree, hi)
 			if err != nil {
 				return err
 			}
 			roundTrees[k] = t
+			col := make([]float64, n)
+			t.predictInto(x, col)
 			for i := range scores {
-				scores[i][k] += g.cfg.LearningRate * t.Predict(x[i])
+				scores[i][k] += g.cfg.LearningRate * col[i]
 			}
 			return nil
 		}); err != nil {
@@ -233,6 +291,34 @@ func (g *GBDT) PredictProba(row []float64) []float64 {
 		}
 	}
 	return softmax(scores)
+}
+
+// PredictProbaBatch implements ml.BatchClassifier: one level-order pass
+// per (round, class) tree over the whole batch. Each row's probabilities
+// are bitwise identical to PredictProba on that row — trees accumulate
+// in the same (round ascending, class ascending) order and
+// softmaxInPlace performs the same operations as softmax.
+func (g *GBDT) PredictProbaBatch(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(rows))
+	for i := range out {
+		out[i] = append([]float64(nil), g.prior...)
+	}
+	col := make([]float64, len(rows))
+	for _, round := range g.trees {
+		for k, t := range round {
+			t.predictInto(rows, col)
+			for i := range out {
+				out[i][k] += g.cfg.LearningRate * col[i]
+			}
+		}
+	}
+	for i := range out {
+		softmaxInPlace(out[i])
+	}
+	return out
 }
 
 // PredictClass implements ml.Classifier.
@@ -267,4 +353,23 @@ func softmax(scores []float64) []float64 {
 		out[i] /= sum
 	}
 	return out
+}
+
+// softmaxInPlace overwrites scores with softmax(scores), performing the
+// exact operation sequence of softmax so results are bitwise identical.
+func softmaxInPlace(scores []float64) {
+	maxv := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxv {
+			maxv = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		scores[i] = math.Exp(s - maxv)
+		sum += scores[i]
+	}
+	for i := range scores {
+		scores[i] /= sum
+	}
 }

@@ -88,3 +88,76 @@ func TestGBRegressorDeterministicUnderGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramFitDeterministicUnderGOMAXPROCS targets the tree-level
+// parallelism directly: the dataset is large enough that binning,
+// histogram accumulation, and the split scan all cross their parallel
+// gates (rows*features >= histParallelMin and total bins >=
+// histParallelMin/4), and the fitted tree's predictions must be bitwise
+// identical between one proc and all of them.
+func TestHistogramFitDeterministicUnderGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const rows, cols = 1000, 12
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	h := make([]float64, rows)
+	for i := range x {
+		x[i] = make([]float64, cols)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = x[i][0] - x[i][1]*x[i][2] + 0.1*rng.NormFloat64()
+		h[i] = 0.5 + rng.Float64()
+	}
+	if rows*cols < histParallelMin {
+		t.Fatalf("dataset too small to cross the parallel gate: %d < %d", rows*cols, histParallelMin)
+	}
+	idx := make([]int, 0, rows)
+	for i := 0; i < rows; i++ {
+		idx = append(idx, i)
+	}
+	fit := func() []float64 {
+		tr, err := FitTree(x, y, h, idx, TreeConfig{MaxDepth: 7, MinLeaf: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.PredictBatch(x, nil)
+	}
+	var serial, parallel []float64
+	testutil.WithGOMAXPROCS(t, 1, func() { serial = fit() })
+	testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { parallel = fit() })
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("row %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestEnsembleDeterministicPerMode re-runs the ensemble invariance check
+// under each split backbone explicitly, so neither mode regresses when
+// the default flips.
+func TestEnsembleDeterministicPerMode(t *testing.T) {
+	const classes = 4
+	x, y := synthClassData(300, 5, classes)
+	for _, mode := range []SplitMode{SplitHistogram, SplitExact} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fit := func() [][]float64 {
+				g := NewGBDT(BoostConfig{Rounds: 8, Seed: 4, Tree: TreeConfig{MaxDepth: 3, Mode: mode}})
+				if err := g.FitClassifier(x, y, classes); err != nil {
+					t.Fatal(err)
+				}
+				return g.PredictProbaBatch(x)
+			}
+			var serial, parallel [][]float64
+			testutil.WithGOMAXPROCS(t, 1, func() { serial = fit() })
+			testutil.WithGOMAXPROCS(t, runtime.NumCPU(), func() { parallel = fit() })
+			for i := range serial {
+				for k := range serial[i] {
+					if math.Float64bits(serial[i][k]) != math.Float64bits(parallel[i][k]) {
+						t.Fatalf("row %d class %d: serial %v != parallel %v", i, k, serial[i][k], parallel[i][k])
+					}
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,10 @@ type FlatNode struct {
 	Threshold float64 `json:"t"`
 	// Value is the leaf prediction (unused for internal nodes).
 	Value float64 `json:"v"`
+	// Gain is the split gain at internal nodes (feeds FeatureImportance);
+	// omitted from JSON when zero, so checkpoints written before the field
+	// existed load unchanged and the format version stays 1.
+	Gain float64 `json:"g,omitempty"`
 	// Left and Right index the node array; -1 for leaves.
 	Left  int `json:"l"`
 	Right int `json:"r"`
@@ -25,7 +29,7 @@ func (t *Tree) Flatten() []FlatNode {
 	var walk func(n *node) int
 	walk = func(n *node) int {
 		at := len(out)
-		out = append(out, FlatNode{Feature: n.feature, Threshold: n.threshold, Value: n.value, Left: -1, Right: -1})
+		out = append(out, FlatNode{Feature: n.feature, Threshold: n.threshold, Value: n.value, Gain: n.gain, Left: -1, Right: -1})
 		if n.feature >= 0 {
 			out[at].Left = walk(n.left)
 			out[at].Right = walk(n.right)
@@ -55,7 +59,7 @@ func TreeFromFlat(nodes []FlatNode) (*Tree, error) {
 		}
 		used[i] = true
 		fn := nodes[i]
-		n := &node{feature: fn.Feature, threshold: fn.Threshold, value: fn.Value}
+		n := &node{feature: fn.Feature, threshold: fn.Threshold, value: fn.Value, gain: fn.Gain}
 		if fn.Feature < 0 {
 			if fn.Left != -1 || fn.Right != -1 {
 				return nil, fmt.Errorf("tree: leaf %d has children", i)
@@ -80,7 +84,9 @@ func TreeFromFlat(nodes []FlatNode) (*Tree, error) {
 			return nil, fmt.Errorf("tree: node %d unreachable from root", i)
 		}
 	}
-	return &Tree{root: root}, nil
+	t := &Tree{root: root}
+	t.finalize()
+	return t, nil
 }
 
 // GBRegressorState is the serializable form of a fitted GBRegressor.

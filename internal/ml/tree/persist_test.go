@@ -1,0 +1,112 @@
+package tree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestGBDTStateRoundTripBatch round-trips a histogram-trained classifier
+// through its JSON state and proves the rehydrated model's batched
+// predictions are bitwise identical — the PR 3 differential bar extended
+// to the batched entry points.
+func TestGBDTStateRoundTripBatch(t *testing.T) {
+	const classes = 4
+	x, y := synthClassData(200, 5, classes)
+	g := NewGBDT(BoostConfig{Rounds: 6, Seed: 2, Tree: TreeConfig{MaxDepth: 3}})
+	if err := g.FitClassifier(x, y, classes); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(g.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st GBDTState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GBDTFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.PredictProbaBatch(x)
+	got := g2.PredictProbaBatch(x)
+	for i := range want {
+		for k := range want[i] {
+			if math.Float64bits(want[i][k]) != math.Float64bits(got[i][k]) {
+				t.Fatalf("row %d class %d: %v != %v after round trip", i, k, want[i][k], got[i][k])
+			}
+		}
+	}
+	impW, impG := g.FeatureImportance(), g2.FeatureImportance()
+	if len(impW) != len(impG) {
+		t.Fatalf("importance length %d != %d after round trip", len(impW), len(impG))
+	}
+	for f := range impW {
+		if math.Float64bits(impW[f]) != math.Float64bits(impG[f]) {
+			t.Fatalf("feature %d importance %v != %v after round trip", f, impW[f], impG[f])
+		}
+	}
+}
+
+// TestGBRegressorStateRoundTripBatch is the regression analogue.
+func TestGBRegressorStateRoundTripBatch(t *testing.T) {
+	x := randMatrix(33, 200, 4)
+	y := make([]float64, len(x))
+	for i := range y {
+		y[i] = 2*x[i][0] - x[i][1]*x[i][2]
+	}
+	g := NewGBRegressor(BoostConfig{Rounds: 12, Seed: 2})
+	if err := g.FitRegressor(x, y); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(g.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st GBRegressorState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GBRegressorFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.PredictBatch(x)
+	got := g2.PredictBatch(x)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("row %d: %v != %v after round trip", i, want[i], got[i])
+		}
+	}
+	impW, impG := g.FeatureImportance(), g2.FeatureImportance()
+	for f := range impW {
+		if math.Float64bits(impW[f]) != math.Float64bits(impG[f]) {
+			t.Fatalf("feature %d importance %v != %v after round trip", f, impW[f], impG[f])
+		}
+	}
+}
+
+// TestFlatNodeGainBackwardCompat: node arrays written before the Gain
+// field existed (no "g" key) must still load, with zero gains.
+func TestFlatNodeGainBackwardCompat(t *testing.T) {
+	blob := []byte(`[{"f":0,"t":0.5,"v":0,"l":1,"r":2},{"f":-1,"t":0,"v":1,"l":-1,"r":-1},{"f":-1,"t":0,"v":2,"l":-1,"r":-1}]`)
+	var nodes []FlatNode
+	if err := json.Unmarshal(blob, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TreeFromFlat(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.2}); got != 1 {
+		t.Errorf("left leaf = %v, want 1", got)
+	}
+	if got := tr.Predict([]float64{0.9}); got != 2 {
+		t.Errorf("right leaf = %v, want 2", got)
+	}
+	out := tr.PredictBatch([][]float64{{0.2}, {0.9}}, nil)
+	if out[0] != 1 || out[1] != 2 {
+		t.Errorf("batch after legacy load = %v, want [1 2]", out)
+	}
+}

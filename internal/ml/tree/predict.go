@@ -1,0 +1,101 @@
+package tree
+
+// fnode is one node of the flat tree form: the whole node — split
+// feature, children, threshold, value — packs into one contiguous
+// struct, so a descent step touches a single cache line instead of the
+// pointer form's scattered heap nodes.
+type fnode struct {
+	feature     int32 // split feature; < 0 for leaves
+	left, right int32 // child indices into the node array
+	thr         float64
+	value       float64
+	gain        float64
+}
+
+// flatTree is the array form of a fitted tree, laid out in preorder.
+// Batched prediction descends it per row with plain index arithmetic;
+// running a whole batch through one tree keeps the (small) node array
+// resident in cache for every row after the first.
+type flatTree struct {
+	nodes []fnode
+}
+
+// finalize (re)builds the flat form from the pointer form. Called once
+// at fit time and once when a tree is deserialized.
+func (t *Tree) finalize() {
+	t.flat.nodes = make([]fnode, 0, countNodes(t.root))
+	t.flat.push(t.root)
+}
+
+func countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}
+
+// push appends nd and its subtree in preorder, returning nd's index.
+func (f *flatTree) push(nd *node) int32 {
+	at := int32(len(f.nodes))
+	f.nodes = append(f.nodes, fnode{
+		feature: int32(nd.feature),
+		left:    -1,
+		right:   -1,
+		thr:     nd.threshold,
+		value:   nd.value,
+		gain:    nd.gain,
+	})
+	if nd.feature >= 0 {
+		f.nodes[at].left = f.push(nd.left)
+		f.nodes[at].right = f.push(nd.right)
+	}
+	return at
+}
+
+// leafValue descends one row to its leaf and returns the leaf value,
+// performing exactly the comparisons Predict performs on the pointer
+// form — results are bitwise identical.
+func (f *flatTree) leafValue(row []float64) float64 {
+	nodes := f.nodes
+	p := int32(0)
+	for {
+		n := &nodes[p]
+		if n.feature < 0 {
+			return n.value
+		}
+		if row[n.feature] <= n.thr {
+			p = n.left
+		} else {
+			p = n.right
+		}
+	}
+}
+
+// PredictBatch evaluates the tree on every row, returning one value per
+// row. out is reused when it has capacity, following the same contract
+// as the nn batch predictors. Each row's result is bitwise identical to
+// Predict on that row.
+func (t *Tree) PredictBatch(rows [][]float64, out []float64) []float64 {
+	if cap(out) >= len(rows) {
+		out = out[:len(rows)]
+	} else {
+		out = make([]float64, len(rows))
+	}
+	t.predictInto(rows, out)
+	return out
+}
+
+// predictInto writes per-row predictions into out (len(rows)).
+func (t *Tree) predictInto(rows [][]float64, out []float64) {
+	for i, row := range rows {
+		out[i] = t.flat.leafValue(row)
+	}
+}
+
+// accumBatch adds lr * prediction to out for every row — the boosting
+// accumulation step, batched.
+func (t *Tree) accumBatch(rows [][]float64, out []float64, lr float64) {
+	for i, row := range rows {
+		out[i] += lr * t.flat.leafValue(row)
+	}
+}

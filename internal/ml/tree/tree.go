@@ -1,9 +1,17 @@
 // Package tree implements CART regression trees and gradient boosting:
 // GBDT for multiclass OC selection and GBRegressor for execution-time
 // regression — the from-scratch stand-ins for the paper's XGBoost models.
+//
+// Tree induction has two selectable backbones (TreeConfig.Mode): the
+// default LightGBM-style histogram splitter (histogram.go) bins every
+// feature once per fit into quantile bins and finds splits by scanning
+// per-bin gradient histograms, and the exact-greedy splitter below
+// re-sorts the node's rows per feature per node — kept as the reference
+// oracle the differential suite compares the histogram path against.
 package tree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -14,13 +22,46 @@ type node struct {
 	feature     int
 	threshold   float64
 	value       float64
+	gain        float64 // split gain at internal nodes; feeds FeatureImportance
 	left, right *node
 }
 
-// Tree is a fitted CART regression tree.
+// Tree is a fitted CART regression tree. Alongside the pointer form it
+// carries a flat preorder node array (built once at fit/load time) that
+// the batched traversal in predict.go descends without pointer chasing.
 type Tree struct {
 	root *node
+	flat flatTree
 }
+
+// SplitMode selects the split-finding backbone.
+type SplitMode int
+
+const (
+	// SplitHistogram (the zero value, hence the default) bins each
+	// feature once per fit into at most MaxBins quantile bins and scans
+	// per-bin gradient/hessian histograms with sibling subtraction —
+	// O(bins) per (node, feature) after the one-time binning sort.
+	SplitHistogram SplitMode = iota
+	// SplitExact is the reference oracle: it re-sorts the node's rows per
+	// feature per node and considers every distinct-value boundary.
+	SplitExact
+)
+
+// String names the mode.
+func (m SplitMode) String() string {
+	switch m {
+	case SplitHistogram:
+		return "histogram"
+	case SplitExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("SplitMode(%d)", int(m))
+	}
+}
+
+// maxHistBins is the hard per-feature bin cap: bin codes are uint8.
+const maxHistBins = 256
 
 // TreeConfig controls tree induction.
 type TreeConfig struct {
@@ -28,6 +69,11 @@ type TreeConfig struct {
 	MaxDepth int
 	// MinLeaf is the minimum samples per leaf; 0 means 2.
 	MinLeaf int
+	// Mode selects the split backbone; the zero value is SplitHistogram.
+	Mode SplitMode
+	// MaxBins bounds histogram bins per feature (histogram mode only);
+	// 0 means 256, and values clamp to [2, 256].
+	MaxBins int
 }
 
 func (c *TreeConfig) setDefaults() {
@@ -37,13 +83,75 @@ func (c *TreeConfig) setDefaults() {
 	if c.MinLeaf == 0 {
 		c.MinLeaf = 2
 	}
+	if c.MaxBins <= 0 || c.MaxBins > maxHistBins {
+		c.MaxBins = maxHistBins
+	}
+	if c.MaxBins < 2 {
+		c.MaxBins = 2
+	}
+}
+
+// ErrNonFinite tags NaN/Inf inputs rejected by the fitting entry points.
+// A NaN feature would silently misroute its row at every `<=` comparison
+// (NaN compares false, so the row always goes right), so fits fail loudly
+// instead.
+var ErrNonFinite = errors.New("non-finite input")
+
+// checkFeatures rejects NaN/Inf feature values and ragged rows.
+func checkFeatures(x [][]float64) error {
+	if len(x) == 0 {
+		return nil
+	}
+	nf := len(x[0])
+	for i, row := range x {
+		if len(row) != nf {
+			return fmt.Errorf("tree: row %d has %d features, row 0 has %d", i, len(row), nf)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("tree: %w: feature %d of row %d is %v", ErrNonFinite, j, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFinite rejects NaN/Inf entries in a target or hessian vector.
+func checkFinite(name string, v []float64) error {
+	for i, f := range v {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("tree: %w: %s %d is %v", ErrNonFinite, name, i, f)
+		}
+	}
+	return nil
 }
 
 // FitTree builds a regression tree on rows x (selected by idx) against
-// target values y, minimizing squared error with exact greedy splits. The
-// optional hessian weights h (nil = unweighted) make the leaf values
-// Newton steps, as gradient-boosted classification requires.
+// target values y, minimizing squared error. The optional hessian
+// weights h (nil = unweighted) make the leaf values Newton steps, as
+// gradient-boosted classification requires. Inputs containing NaN or
+// ±Inf are rejected with an error wrapping ErrNonFinite. In histogram
+// mode the feature binning is built per call; the boosting ensembles use
+// the internal entry point that bins once per ensemble fit.
 func FitTree(x [][]float64, y, h []float64, idx []int, cfg TreeConfig) (*Tree, error) {
+	if err := checkFeatures(x); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("target", y); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("hessian", h); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	return fitTree(x, y, h, idx, cfg, nil)
+}
+
+// fitTree is the unvalidated core of FitTree: cfg must be normalized and
+// x/y/h finite. The ensembles validate once up front and pass a prebuilt
+// histogram index so the per-feature binning sort is paid once per
+// ensemble fit instead of once per tree.
+func fitTree(x [][]float64, y, h []float64, idx []int, cfg TreeConfig, hi *histIndex) (*Tree, error) {
 	if len(x) == 0 || len(y) != len(x) {
 		return nil, fmt.Errorf("tree: %d rows, %d targets", len(x), len(y))
 	}
@@ -53,23 +161,47 @@ func FitTree(x [][]float64, y, h []float64, idx []int, cfg TreeConfig) (*Tree, e
 	if len(idx) == 0 {
 		return nil, fmt.Errorf("tree: empty index set")
 	}
-	cfg.setDefaults()
-	b := &builder{x: x, y: y, h: h, cfg: cfg}
-	return &Tree{root: b.build(append([]int(nil), idx...), 0)}, nil
+	var root *node
+	if cfg.Mode == SplitHistogram {
+		if hi == nil {
+			hi = buildHistIndex(x, cfg.MaxBins)
+		}
+		root = fitHistogram(hi, y, h, idx, cfg)
+	} else {
+		b := &exactBuilder{x: x, y: y, h: h, cfg: cfg}
+		root = b.fit(idx)
+	}
+	t := &Tree{root: root}
+	t.finalize()
+	return t, nil
 }
 
-type builder struct {
-	x   [][]float64
-	y   []float64
-	h   []float64
-	cfg TreeConfig
+// exactBuilder grows a tree with exact-greedy splits: every node
+// re-sorts its rows per feature and considers every distinct-value
+// boundary. The row index set lives in one array partitioned in place
+// per node (rows), with ord as per-node sort scratch and tmp as
+// partition scratch — no per-node append-grown slices.
+type exactBuilder struct {
+	x    [][]float64
+	y, h []float64
+	cfg  TreeConfig
+	rows []int
+	ord  []int
+	tmp  []int
+}
+
+func (b *exactBuilder) fit(idx []int) *node {
+	b.rows = append([]int(nil), idx...)
+	b.ord = make([]int, len(idx))
+	b.tmp = make([]int, 0, len(idx))
+	return b.build(0, len(idx), 0)
 }
 
 // leafValue returns sum(g)/sum(h) (Newton step) or the mean when
 // unweighted. A small ridge term keeps the division stable.
-func (b *builder) leafValue(idx []int) float64 {
+func (b *exactBuilder) leafValue(seg []int) float64 {
 	var sg, sh float64
-	for _, i := range idx {
+	for _, i := range seg {
 		sg += b.y[i]
 		if b.h != nil {
 			sh += b.h[i]
@@ -83,41 +215,54 @@ func (b *builder) leafValue(idx []int) float64 {
 // impurity is the weighted sum of squares proxy: -(sum g)^2 / sum h.
 func gainTerm(sg, sh float64) float64 { return sg * sg / (sh + 1e-9) }
 
-func (b *builder) build(idx []int, depth int) *node {
-	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf {
-		return &node{feature: -1, value: b.leafValue(idx)}
+func (b *exactBuilder) build(lo, hi, depth int) *node {
+	seg := b.rows[lo:hi]
+	if depth >= b.cfg.MaxDepth || len(seg) < 2*b.cfg.MinLeaf {
+		return &node{feature: -1, value: b.leafValue(seg)}
 	}
-	feat, thr, ok := b.bestSplit(idx)
+	feat, thr, gain, ok := b.bestSplit(seg)
 	if !ok {
-		return &node{feature: -1, value: b.leafValue(idx)}
+		return &node{feature: -1, value: b.leafValue(seg)}
 	}
-	var left, right []int
-	for _, i := range idx {
-		if b.x[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+	mid := b.partition(lo, hi, feat, thr)
 	return &node{
 		feature:   feat,
 		threshold: thr,
-		left:      b.build(left, depth+1),
-		right:     b.build(right, depth+1),
+		gain:      gain,
+		left:      b.build(lo, mid, depth+1),
+		right:     b.build(mid, hi, depth+1),
 	}
 }
 
+// partition stably splits rows[lo:hi] around the threshold: rows going
+// left compact to the front in place, the rest stage through tmp.
+func (b *exactBuilder) partition(lo, hi, feat int, thr float64) int {
+	left := b.rows[lo:lo]
+	rest := b.tmp[:0]
+	for _, i := range b.rows[lo:hi] {
+		if b.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	b.tmp = rest
+	copy(b.rows[lo+len(left):hi], rest)
+	return lo + len(left)
+}
+
 // bestSplit scans every feature for the split maximizing gain.
-func (b *builder) bestSplit(idx []int) (feat int, thr float64, ok bool) {
+func (b *exactBuilder) bestSplit(seg []int) (feat int, thr, gain float64, ok bool) {
 	var totG, totH float64
-	for _, i := range idx {
+	for _, i := range seg {
 		totG += b.y[i]
 		totH += b.weight(i)
 	}
 	parent := gainTerm(totG, totH)
-	bestGain := 1e-12
-	nf := len(b.x[idx[0]])
-	order := append([]int(nil), idx...)
+	gain = 1e-12
+	nf := len(b.x[seg[0]])
+	order := b.ord[:len(seg)]
+	copy(order, seg)
 	for f := 0; f < nf; f++ {
 		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
 		var lg, lh float64
@@ -134,19 +279,19 @@ func (b *builder) bestSplit(idx []int) (feat int, thr float64, ok bool) {
 			if ln < b.cfg.MinLeaf || len(order)-ln < b.cfg.MinLeaf {
 				continue
 			}
-			gain := gainTerm(lg, lh) + gainTerm(totG-lg, totH-lh) - parent
-			if gain > bestGain {
-				bestGain = gain
+			g := gainTerm(lg, lh) + gainTerm(totG-lg, totH-lh) - parent
+			if g > gain {
+				gain = g
 				feat = f
 				thr = (b.x[order[k]][f] + b.x[order[k+1]][f]) / 2
 				ok = true
 			}
 		}
 	}
-	return feat, thr, ok
+	return feat, thr, gain, ok
 }
 
-func (b *builder) weight(i int) float64 {
+func (b *exactBuilder) weight(i int) float64 {
 	if b.h != nil {
 		return b.h[i]
 	}

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -238,5 +239,145 @@ func TestQuickTreePredictionBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFitTreeRejectsNonFinite(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []float64{1, 2}
+	cases := []struct {
+		name    string
+		x       [][]float64
+		y, h    []float64
+	}{
+		{"nan feature", [][]float64{{1, math.NaN()}, {3, 4}}, y, nil},
+		{"inf feature", [][]float64{{1, 2}, {math.Inf(1), 4}}, y, nil},
+		{"nan target", x, []float64{1, math.NaN()}, nil},
+		{"inf target", x, []float64{math.Inf(-1), 2}, nil},
+		{"nan hessian", x, y, []float64{1, math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FitTree(tc.x, tc.y, tc.h, allIdx(2), TreeConfig{})
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("err = %v, want ErrNonFinite", err)
+			}
+		})
+	}
+}
+
+func TestFitTreeRejectsRaggedRows(t *testing.T) {
+	_, err := FitTree([][]float64{{1, 2}, {3}}, []float64{1, 2}, nil, allIdx(2), TreeConfig{})
+	if err == nil || errors.Is(err, ErrNonFinite) {
+		t.Fatalf("ragged rows: err = %v, want shape error", err)
+	}
+}
+
+func TestGBRegressorRejectsNonFinite(t *testing.T) {
+	g := NewGBRegressor(BoostConfig{Rounds: 2})
+	if err := g.FitRegressor([][]float64{{1}, {math.NaN()}}, []float64{1, 2}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN feature: err = %v, want ErrNonFinite", err)
+	}
+	if err := g.FitRegressor([][]float64{{1}, {2}}, []float64{1, math.Inf(1)}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("Inf target: err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestGBDTRejectsNonFinite(t *testing.T) {
+	g := NewGBDT(BoostConfig{Rounds: 2})
+	err := g.FitClassifier([][]float64{{1}, {math.Inf(1)}, {2}, {3}}, []int{0, 1, 0, 1}, 2)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Errorf("Inf feature: err = %v, want ErrNonFinite", err)
+	}
+}
+
+// randMatrix builds a deterministic feature matrix plus targets/labels
+// shared by the batch-equality tests.
+func randMatrix(seed int64, rows, cols int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, rows)
+	for i := range x {
+		x[i] = make([]float64, cols)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func TestTreePredictBatchMatchesPredict(t *testing.T) {
+	for _, mode := range []SplitMode{SplitHistogram, SplitExact} {
+		t.Run(mode.String(), func(t *testing.T) {
+			x := randMatrix(11, 300, 5)
+			y := make([]float64, len(x))
+			for i := range y {
+				y[i] = x[i][0]*2 - x[i][1]*x[i][2]
+			}
+			tr, err := FitTree(x, y, nil, allIdx(len(x)), TreeConfig{MaxDepth: 6, MinLeaf: 1, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := randMatrix(12, 100, 5)
+			got := tr.PredictBatch(q, nil)
+			for i, row := range q {
+				if math.Float64bits(got[i]) != math.Float64bits(tr.Predict(row)) {
+					t.Fatalf("row %d: batch %v != single %v", i, got[i], tr.Predict(row))
+				}
+			}
+			// out reuse: a slice with capacity is reused, not reallocated.
+			buf := make([]float64, 0, len(q))
+			out := tr.PredictBatch(q, buf)
+			if &out[0] != &buf[:1][0] {
+				t.Error("PredictBatch did not reuse out's backing array")
+			}
+		})
+	}
+}
+
+func TestGBDTBatchMatchesSingle(t *testing.T) {
+	const classes = 4
+	x, y := synthClassData(250, 6, classes)
+	g := NewGBDT(BoostConfig{Rounds: 10, Seed: 5, Tree: TreeConfig{MaxDepth: 4}})
+	if err := g.FitClassifier(x, y, classes); err != nil {
+		t.Fatal(err)
+	}
+	batch := g.PredictProbaBatch(x)
+	for i, row := range x {
+		single := g.PredictProba(row)
+		for k := range single {
+			if math.Float64bits(batch[i][k]) != math.Float64bits(single[k]) {
+				t.Fatalf("row %d class %d: batch %v != single %v", i, k, batch[i][k], single[k])
+			}
+		}
+	}
+	if g.PredictProbaBatch(nil) != nil {
+		t.Error("empty batch should return nil")
+	}
+}
+
+func TestGBRegressorBatchMatchesSingle(t *testing.T) {
+	x := randMatrix(21, 300, 4)
+	y := make([]float64, len(x))
+	for i := range y {
+		y[i] = 3*x[i][0] - x[i][1]*x[i][1]
+	}
+	g := NewGBRegressor(BoostConfig{Rounds: 25, Seed: 6})
+	if err := g.FitRegressor(x, y); err != nil {
+		t.Fatal(err)
+	}
+	batch := g.PredictBatch(x)
+	for i, row := range x {
+		if math.Float64bits(batch[i]) != math.Float64bits(g.PredictValue(row)) {
+			t.Fatalf("row %d: batch %v != single %v", i, batch[i], g.PredictValue(row))
+		}
+	}
+	if g.PredictBatch(nil) != nil {
+		t.Error("empty batch should return nil")
+	}
+	vb := g.PredictValueBatch(x[:7])
+	for i := range vb {
+		if math.Float64bits(vb[i]) != math.Float64bits(batch[i]) {
+			t.Fatalf("PredictValueBatch row %d differs from PredictBatch", i)
+		}
 	}
 }
