@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels bench-trees fuzz
+.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels bench-trees bench-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,9 @@ bench-kernels:
 
 bench-trees:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/ml/tree/
+
+bench-serve:
+	sh scripts/serve_bench.sh
 
 fuzz:
 	$(GO) test ./internal/profile/ -fuzz FuzzDatasetRoundTrip -fuzztime 30s

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/stencil"
+)
+
+// LoadgenResult is one load-generation run's record: what was driven and
+// what came back, in the shape BENCH_serve.json accumulates.
+type LoadgenResult struct {
+	Label    string `json:"label"`
+	URL      string `json:"url"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// P50/P99/P999Millis are exact quantiles over every request's
+	// end-to-end latency (sorted, not interpolated from buckets).
+	P50Millis  float64 `json:"p50_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	P999Millis float64 `json:"p999_ms"`
+	// Throughput is completed requests per wall-clock second.
+	Throughput float64 `json:"rps"`
+	ElapsedSec float64 `json:"elapsed_s"`
+}
+
+// cmdLoadgen hammers a running prediction server with concurrent clients
+// cycling through classic stencil shapes on every catalog GPU, then
+// reports exact latency quantiles and throughput. With -out, the result
+// is appended to a JSON array file so successive runs (serial baseline
+// vs coalesced, rising concurrency) accumulate into one benchmark
+// record.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of a running 'stencilmart serve'")
+	clients := fs.Int("clients", 8, "concurrent clients")
+	n := fs.Int("n", 50, "requests per client")
+	shapes := fs.String("shapes", "star2d1r,star2d2r,box2d1r,star3d1r,star3d2r,box3d1r",
+		"comma-separated classic stencil names to cycle through")
+	label := fs.String("label", "", "label recorded with the result")
+	out := fs.String("out", "", "append the result to this JSON array file")
+	failOnError := fs.Bool("fail-on-error", false, "exit nonzero if any request fails")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request client timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 || *n < 1 {
+		return fmt.Errorf("loadgen: -clients and -n must be positive")
+	}
+
+	// Pre-build every request body: shapes x GPUs, validated up front so
+	// a typo fails fast instead of as a thousand 400s.
+	var bodies []string
+	for _, name := range strings.Split(*shapes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := stencil.ByName(name); err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		for _, arch := range gpu.Catalog() {
+			bodies = append(bodies, fmt.Sprintf(`{"stencil":%q,"gpu":%q}`, name, arch.Name))
+		}
+	}
+	if len(bodies) == 0 {
+		return fmt.Errorf("loadgen: no request shapes")
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	total := *clients * *n
+	latencies := make([]time.Duration, total)
+	errs := make([]error, total)
+
+	fmt.Printf("loadgen: %d clients x %d requests against %s (%d distinct shapes)\n",
+		*clients, *n, *url, len(bodies))
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < *n; i++ {
+				k := c**n + i
+				body := bodies[k%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(*url+"/predict", "application/json", strings.NewReader(body))
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d for %s", resp.StatusCode, body)
+					}
+				}
+				latencies[k], errs[k] = time.Since(t0), err
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	failed := 0
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q*float64(total)+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= total {
+			idx = total - 1
+		}
+		return float64(latencies[idx].Nanoseconds()) / 1e6
+	}
+	res := LoadgenResult{
+		Label:      *label,
+		URL:        *url,
+		Clients:    *clients,
+		Requests:   total,
+		Errors:     failed,
+		P50Millis:  quantile(0.50),
+		P99Millis:  quantile(0.99),
+		P999Millis: quantile(0.999),
+		Throughput: float64(total-failed) / elapsed.Seconds(),
+		ElapsedSec: elapsed.Seconds(),
+	}
+
+	line, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(line))
+	if *out != "" {
+		if err := appendResult(*out, res); err != nil {
+			return err
+		}
+		fmt.Printf("appended to %s\n", *out)
+	}
+	if failed > 0 {
+		fmt.Printf("loadgen: %d/%d requests failed (first: %v)\n", failed, total, firstErr)
+		if *failOnError {
+			return fmt.Errorf("loadgen: %d requests failed", failed)
+		}
+	}
+	return nil
+}
+
+// appendResult appends one run to a JSON array file, creating it when
+// missing, so the benchmark record stays a single valid JSON document.
+func appendResult(path string, res LoadgenResult) error {
+	var runs []LoadgenResult
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("loadgen: %s is not a JSON array of results: %w", path, err)
+		}
+	}
+	runs = append(runs, res)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

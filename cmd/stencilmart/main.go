@@ -10,7 +10,8 @@
 //	stencilmart train      -dataset dataset.json -out model.ckpt
 //	stencilmart predict    -dataset dataset.json -stencil star2d2r -gpu V100
 //	stencilmart predict    -model model.ckpt -stencil star2d2r -gpu V100
-//	stencilmart serve      -model model.ckpt -addr :8080
+//	stencilmart serve      -model model.ckpt -addr :8080 [-batch-window 500us -batch-size 32]
+//	stencilmart loadgen    -url http://127.0.0.1:8080 -clients 32 -n 50 [-out BENCH_serve.json]
 //	stencilmart rent       -dataset dataset.json -dims 2 [-cost]
 //	stencilmart simulate   -stencil box3d2r -gpu A100 -oc ST_RT_PR
 //	stencilmart experiment -id fig9 [-preset paper]
@@ -59,6 +60,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "rent":
 		err = cmdRent(os.Args[2:])
 	case "simulate":
@@ -91,6 +94,7 @@ commands:
   train       train every serving model and write a checkpoint
   predict     predict the best optimization combination for a stencil
   serve       serve predictions over HTTP from a trained checkpoint
+  loadgen     drive a running server with concurrent clients and report latency quantiles
   rent        run the cloud-rental advisor (pure performance or cost)
   simulate    run one kernel configuration on the simulated GPU
   codegen     emit the CUDA kernel source for a stencil under an OC
@@ -325,6 +329,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
 	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request prediction timeout")
 	maxInFlight := fs.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /predict requests admitted before shedding with 503")
+	batchWindow := fs.Duration("batch-window", serve.DefaultBatchWindow, "how long a batch waits for more requests after its first (negative = no waiting)")
+	batchSize := fs.Int("batch-size", serve.DefaultBatchSize, "max requests coalesced into one model call (1 = serial baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -332,10 +338,16 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.NewWithOptions(fw, serve.Options{Timeout: *timeout, MaxInFlight: *maxInFlight})
+	srv, err := serve.NewWithOptions(fw, serve.Options{
+		Timeout:     *timeout,
+		MaxInFlight: *maxInFlight,
+		BatchWindow: *batchWindow,
+		BatchSize:   *batchSize,
+	})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logf := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }

@@ -157,6 +157,20 @@ func (f *Framework) requireTrained() (*Trained, error) {
 	return f.Trained, nil
 }
 
+// classifierFor resolves the trained classifier serving (archName, dims),
+// with the error messages the serving layer maps to 400s.
+func (tr *Trained) classifierFor(archName string, dims int) (ml.Classifier, error) {
+	byDims, ok := tr.Classifiers[archName]
+	if !ok {
+		return nil, fmt.Errorf("core: no trained classifier for GPU %q", archName)
+	}
+	cls, ok := byDims[dims]
+	if !ok {
+		return nil, fmt.Errorf("core: no trained %d-D classifier for GPU %q", dims, archName)
+	}
+	return cls, nil
+}
+
 // PredictClassTrained scores an arbitrary stencil with the checkpointed
 // classifier for the named GPU, returning the merged class and the
 // per-class probabilities. No training runs. Callers sharing a framework
@@ -170,13 +184,9 @@ func (f *Framework) PredictClassTrained(archName string, s stencil.Stencil) (int
 	if err := s.Validate(); err != nil {
 		return 0, nil, err
 	}
-	byDims, ok := tr.Classifiers[archName]
-	if !ok {
-		return 0, nil, fmt.Errorf("core: no trained classifier for GPU %q", archName)
-	}
-	cls, ok := byDims[s.Dims]
-	if !ok {
-		return 0, nil, fmt.Errorf("core: no trained %d-D classifier for GPU %q", s.Dims, archName)
+	cls, err := tr.classifierFor(archName, s.Dims)
+	if err != nil {
+		return 0, nil, err
 	}
 	row := classEncode(tr.ClassifierKind, s)
 	proba := ml.PredictProbaAll(cls, [][]float64{row})[0]
@@ -189,6 +199,15 @@ func (f *Framework) PredictClassTrained(archName string, s stencil.Stencil) (int
 // from the stencil, so unseen stencils (not in the training dataset) are
 // first-class inputs.
 func (t *TrainedRegressor) PredictStencilSeconds(s stencil.Stencil, oc opt.Opt, p opt.Params, archs []gpu.Arch) []float64 {
+	rows := t.stencilRows(s, oc, p, archs)
+	vals := ml.PredictValueAll(t.model, rows)
+	t.invertSeconds(vals)
+	return vals
+}
+
+// stencilRows encodes and scales the regressor inputs for one (stencil,
+// OC, params) triple on every given architecture.
+func (t *TrainedRegressor) stencilRows(s stencil.Stencil, oc opt.Opt, p opt.Params, archs []gpu.Arch) [][]float64 {
 	rows := make([][]float64, len(archs))
 	for i, a := range archs {
 		var row []float64
@@ -199,14 +218,18 @@ func (t *TrainedRegressor) PredictStencilSeconds(s stencil.Stencil, oc opt.Opt, 
 		}
 		rows[i] = t.xScale.apply(row)
 	}
-	vals := ml.PredictValueAll(t.model, rows)
+	return rows
+}
+
+// invertSeconds converts raw model outputs to seconds in place, undoing
+// target scaling and the log2 transform.
+func (t *TrainedRegressor) invertSeconds(vals []float64) {
 	for i, v := range vals {
 		if t.kind.usesScaling() {
 			v = t.yScale.invert(v)
 		}
 		vals[i] = regInvert(v)
 	}
-	return vals
 }
 
 // RentAdvice is the cross-GPU verdict for one prediction: which catalog
@@ -292,25 +315,9 @@ func (f *Framework) ServePredict(archName string, s stencil.Stencil) (*ServePred
 		return nil, fmt.Errorf("core: no trained %d-D regressor", s.Dims)
 	}
 
-	// Tune the representative OC of the most probable class; fall back
-	// through the class order when every sampled setting crashes.
-	w := sim.DefaultWorkload(s)
-	seed := requestSeed(f.Cfg.Seed, archName, s)
-	var (
-		chosen opt.Opt
-		best   tuner.Result
-		tuned  bool
-	)
-	for _, c := range classOrder(proba) {
-		oc := f.Grouping.RepOC(c)
-		res, err := (tuner.Random{}).Tune(f.Model, w, oc, arch, f.Cfg.SamplesPerOC, seed)
-		if err == nil {
-			chosen, best, tuned = oc, res, true
-			break
-		}
-	}
-	if !tuned {
-		return nil, fmt.Errorf("core: no runnable OC for %s on %s", s.Name, archName)
+	chosen, best, err := f.tuneForClass(archName, s, arch, proba)
+	if err != nil {
+		return nil, err
 	}
 
 	archs := f.Dataset.Archs
@@ -332,6 +339,24 @@ func (f *Framework) ServePredict(archName string, s stencil.Stencil) (*ServePred
 		PredictedSeconds: times,
 		Advice:           rentAdvice(archName, archs, times),
 	}, nil
+}
+
+// tuneForClass tunes the representative OC of the most probable class on
+// the target GPU, falling back through the class order when every sampled
+// setting of a representative crashes. The tuning seed derives from the
+// request, so identical requests tune identically (and hit the sim memo
+// cache) no matter which batch or goroutine carries them.
+func (f *Framework) tuneForClass(archName string, s stencil.Stencil, arch gpu.Arch, proba []float64) (opt.Opt, tuner.Result, error) {
+	w := sim.DefaultWorkload(s)
+	seed := requestSeed(f.Cfg.Seed, archName, s)
+	for _, c := range classOrder(proba) {
+		oc := f.Grouping.RepOC(c)
+		res, err := (tuner.Random{}).Tune(f.Model, w, oc, arch, f.Cfg.SamplesPerOC, seed)
+		if err == nil {
+			return oc, res, nil
+		}
+	}
+	return 0, tuner.Result{}, fmt.Errorf("core: no runnable OC for %s on %s", s.Name, archName)
 }
 
 // rentAdvice derives the cross-GPU verdict from index-aligned predicted

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/ml"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/par"
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/tuner"
+)
+
+// ServeRequest is one item of a batched serving call: the same inputs
+// ServePredict takes positionally.
+type ServeRequest struct {
+	GPU     string
+	Stencil stencil.Stencil
+}
+
+// ServeOutcome is one request's result slot in a batch: a prediction or
+// an error, never both.
+type ServeOutcome struct {
+	Prediction *ServePrediction
+	Err        error
+}
+
+// ServePredictBatch runs the classify -> tune -> regress -> rent pipeline
+// of ServePredict over many requests at once, returning one outcome per
+// request, index-aligned. Coalescing pays off twice. First, identical
+// requests inside a batch collapse to one pipeline pass — the whole
+// serving path is a deterministic function of (GPU, stencil), so
+// duplicates (concurrent clients asking about the same hot stencil, the
+// common case the serving tier batches for) share a single classify +
+// tune + regress and receive the same prediction. Second, the surviving
+// distinct requests group their model calls: classification batches per
+// (GPU, dims) classifier and cross-GPU regression batches per dims, so
+// per-call model overhead is paid once per group, while tuning
+// (simulator-bound, concurrency-safe) runs across items in parallel.
+// Because every batched model path scores rows independently and
+// duplicates are exact, the outcomes are bitwise identical to calling
+// ServePredict once per request — the serving tier's differential tests
+// hold this invariant.
+//
+// Like ServePredict, the method is not safe for concurrent use on one
+// framework (nn models reuse forward scratch); the serving layer
+// serializes batch calls through a single lane.
+func (f *Framework) ServePredictBatch(reqs []ServeRequest) []ServeOutcome {
+	outs := make([]ServeOutcome, len(reqs))
+	if len(reqs) == 0 {
+		return outs
+	}
+	tr, err := f.requireTrained()
+	if err != nil {
+		for i := range outs {
+			outs[i].Err = err
+		}
+		return outs
+	}
+
+	items := f.admitServeItems(tr, reqs, outs)
+
+	// Collapse duplicates: the first item with a given (GPU, stencil)
+	// identity is the primary that rides the pipeline; the rest copy its
+	// outcome at the end. Items that already failed admission keep their
+	// own (identical) errors.
+	seen := make(map[string]*serveItem, len(items))
+	var primaries []*serveItem
+	var dups []*serveItem
+	for _, it := range items {
+		if it.out.Err != nil {
+			continue
+		}
+		k := serveKey(it.req)
+		if p, ok := seen[k]; ok {
+			it.primary = p
+			dups = append(dups, it)
+			continue
+		}
+		seen[k] = it
+		primaries = append(primaries, it)
+	}
+
+	f.classifyServeItems(tr, primaries)
+	f.tuneServeItems(primaries)
+	f.regressServeItems(primaries)
+
+	for _, it := range live(primaries) {
+		outs[it.idx] = ServeOutcome{Prediction: it.assemble(f)}
+	}
+	for _, it := range dups {
+		outs[it.idx] = outs[it.primary.idx]
+	}
+	return outs
+}
+
+// serveKey canonicalizes a request's full identity — target GPU plus the
+// stencil's name, dimensionality, and exact point set — the inputs the
+// serving pipeline is a deterministic function of.
+func serveKey(r ServeRequest) string {
+	var b strings.Builder
+	b.WriteString(r.GPU)
+	b.WriteByte(0)
+	b.WriteString(r.Stencil.Name)
+	fmt.Fprintf(&b, "\x00%d", r.Stencil.Dims)
+	for _, p := range r.Stencil.Points {
+		fmt.Fprintf(&b, "|%d,%d,%d", p.Dx, p.Dy, p.Dz)
+	}
+	return b.String()
+}
+
+// serveItem carries one request through the batch pipeline. A stage that
+// fails an item records the error in its outcome slot and later stages
+// skip it.
+type serveItem struct {
+	idx int
+	req ServeRequest
+	out *ServeOutcome
+
+	// primary points at the first batchmate with the same (GPU, stencil)
+	// identity; a non-nil primary means this item skips the pipeline and
+	// copies the primary's outcome.
+	primary *serveItem
+
+	arch  gpu.Arch
+	cls   ml.Classifier
+	reg   *TrainedRegressor
+	class int
+	proba []float64
+	oc    opt.Opt
+	tuned tuner.Result
+	times []float64
+}
+
+func (it *serveItem) fail(err error) { it.out.Err = err }
+
+// live filters the items that have not failed yet.
+func live(items []*serveItem) []*serveItem {
+	out := items[:0:0]
+	for _, it := range items {
+		if it.out.Err == nil {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// admitServeItems resolves per-request lookups (GPU, stencil validity,
+// classifier, regressor) in ServePredict's exact check order, so a
+// request failing several ways reports the same error it would serially.
+func (f *Framework) admitServeItems(tr *Trained, reqs []ServeRequest, outs []ServeOutcome) []*serveItem {
+	items := make([]*serveItem, 0, len(reqs))
+	for i, req := range reqs {
+		it := &serveItem{idx: i, req: req, out: &outs[i]}
+		items = append(items, it)
+		_, arch, err := f.ArchByName(req.GPU)
+		if err != nil {
+			it.fail(err)
+			continue
+		}
+		if err := req.Stencil.Validate(); err != nil {
+			it.fail(err)
+			continue
+		}
+		cls, err := tr.classifierFor(req.GPU, req.Stencil.Dims)
+		if err != nil {
+			it.fail(err)
+			continue
+		}
+		it.arch, it.cls = arch, cls
+	}
+	return items
+}
+
+// classifyServeItems scores each (GPU, dims) group's stencils through one
+// batched classifier call. The regressor is resolved right after a
+// group's probabilities land, preserving ServePredict's error precedence
+// (classifier errors before regressor errors). A panicking batched call
+// falls back to scoring that group row by row, isolating a poisoned row
+// to its own outcome.
+func (f *Framework) classifyServeItems(tr *Trained, items []*serveItem) {
+	type clsGroup struct {
+		cls   ml.Classifier
+		items []*serveItem
+	}
+	groups := make(map[ml.Classifier]*clsGroup)
+	var order []ml.Classifier
+	for _, it := range live(items) {
+		g := groups[it.cls]
+		if g == nil {
+			g = &clsGroup{cls: it.cls}
+			groups[it.cls] = g
+			order = append(order, it.cls)
+		}
+		g.items = append(g.items, it)
+	}
+	for _, key := range order {
+		g := groups[key]
+		rows := make([][]float64, len(g.items))
+		for i, it := range g.items {
+			rows[i] = classEncode(tr.ClassifierKind, it.req.Stencil)
+		}
+		probas, err := safeProbaBatch(g.cls, rows)
+		if err != nil {
+			// Batched path poisoned: retry row by row so only the bad
+			// request fails.
+			for i, it := range g.items {
+				proba, rowErr := safeProbaRow(g.cls, rows[i])
+				if rowErr != nil {
+					it.fail(rowErr)
+					continue
+				}
+				it.class, it.proba = ml.ArgMax(proba), proba
+			}
+		} else {
+			for i, it := range g.items {
+				it.class, it.proba = ml.ArgMax(probas[i]), probas[i]
+			}
+		}
+		for _, it := range g.items {
+			if it.out.Err != nil {
+				continue
+			}
+			reg, ok := f.Trained.Regressors[it.req.Stencil.Dims]
+			if !ok {
+				it.fail(fmt.Errorf("core: no trained %d-D regressor", it.req.Stencil.Dims))
+				continue
+			}
+			it.reg = reg
+		}
+	}
+}
+
+func safeProbaBatch(cls ml.Classifier, rows [][]float64) (probas [][]float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: batched classify panicked: %v", v)
+		}
+	}()
+	probas = ml.PredictProbaAll(cls, rows)
+	if len(probas) != len(rows) {
+		return nil, fmt.Errorf("core: batched classify returned %d rows for %d", len(probas), len(rows))
+	}
+	return probas, nil
+}
+
+func safeProbaRow(cls ml.Classifier, row []float64) (proba []float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: classify panicked: %v", v)
+		}
+	}()
+	return cls.PredictProba(row), nil
+}
+
+// tuneServeItems tunes every live item's representative OC concurrently.
+// The simulator layer is concurrency-safe (memoized behind a lock) and
+// each item's tuning seed derives from its request, so parallel tuning
+// returns exactly what serial tuning would. Errors land in item slots;
+// the worker fn never fails, so ForEach runs every item.
+func (f *Framework) tuneServeItems(items []*serveItem) {
+	todo := live(items)
+	if len(todo) == 0 {
+		return
+	}
+	_ = par.ForEach(context.Background(), len(todo), 0, func(i int) error {
+		it := todo[i]
+		defer func() {
+			if v := recover(); v != nil {
+				it.fail(fmt.Errorf("core: tuning panicked: %v", v))
+			}
+		}()
+		oc, res, err := f.tuneForClass(it.req.GPU, it.req.Stencil, it.arch, it.proba)
+		if err != nil {
+			it.fail(err)
+			return nil
+		}
+		it.oc, it.tuned = oc, res
+		return nil
+	})
+}
+
+// regressServeItems predicts cross-GPU times with one batched regressor
+// call per dims group: each item contributes len(archs) rows, the group
+// scores in a single pass, and the flat output is sliced back per item.
+// Row independence of the batched paths makes the slices identical to
+// per-item PredictStencilSeconds calls; a panicking batched call falls
+// back to exactly those per-item calls.
+func (f *Framework) regressServeItems(items []*serveItem) {
+	archs := f.Dataset.Archs
+	type regGroup struct {
+		reg   *TrainedRegressor
+		items []*serveItem
+	}
+	groups := make(map[*TrainedRegressor]*regGroup)
+	var order []*TrainedRegressor
+	for _, it := range live(items) {
+		g := groups[it.reg]
+		if g == nil {
+			g = &regGroup{reg: it.reg}
+			groups[it.reg] = g
+			order = append(order, it.reg)
+		}
+		g.items = append(g.items, it)
+	}
+	for _, key := range order {
+		g := groups[key]
+		rows := make([][]float64, 0, len(g.items)*len(archs))
+		for _, it := range g.items {
+			rows = append(rows, g.reg.stencilRows(it.req.Stencil, it.oc, it.tuned.Params, archs)...)
+		}
+		vals, err := safeValueBatch(g.reg, rows)
+		if err != nil {
+			for _, it := range g.items {
+				times, rowErr := safeStencilSeconds(g.reg, it, archs)
+				if rowErr != nil {
+					it.fail(rowErr)
+					continue
+				}
+				it.times = times
+			}
+			continue
+		}
+		g.reg.invertSeconds(vals)
+		for i, it := range g.items {
+			it.times = vals[i*len(archs) : (i+1)*len(archs) : (i+1)*len(archs)]
+		}
+	}
+}
+
+func safeValueBatch(reg *TrainedRegressor, rows [][]float64) (vals []float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: batched regression panicked: %v", v)
+		}
+	}()
+	vals = ml.PredictValueAll(reg.model, rows)
+	if len(vals) != len(rows) {
+		return nil, fmt.Errorf("core: batched regression returned %d values for %d rows", len(vals), len(rows))
+	}
+	return vals, nil
+}
+
+func safeStencilSeconds(reg *TrainedRegressor, it *serveItem, archs []gpu.Arch) (times []float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: regression panicked: %v", v)
+		}
+	}()
+	return reg.PredictStencilSeconds(it.req.Stencil, it.oc, it.tuned.Params, archs), nil
+}
+
+// assemble builds the item's ServePrediction with the exact field set
+// ServePredict returns.
+func (it *serveItem) assemble(f *Framework) *ServePrediction {
+	archs := f.Dataset.Archs
+	names := make([]string, len(archs))
+	for i, a := range archs {
+		names[i] = a.Name
+	}
+	return &ServePrediction{
+		Stencil:          it.req.Stencil.Name,
+		GPU:              it.req.GPU,
+		Class:            it.class,
+		Proba:            it.proba,
+		OC:               it.oc.String(),
+		Params:           it.tuned.Params,
+		TunedSeconds:     it.tuned.Time,
+		ArchNames:        names,
+		PredictedSeconds: it.times,
+		Advice:           rentAdvice(it.req.GPU, archs, it.times),
+	}
+}

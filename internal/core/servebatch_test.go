@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stencilmart/internal/ml"
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/testutil"
+)
+
+// batchRequests builds the differential workload: every probe on every
+// catalog GPU, plus a duplicate (coalesced traffic repeats shapes) and
+// requests that must fail (unknown GPU, invalid stencil).
+func batchRequests(fw *Framework) []ServeRequest {
+	var reqs []ServeRequest
+	for _, s := range ckptProbes() {
+		for _, a := range fw.Dataset.Archs {
+			reqs = append(reqs, ServeRequest{GPU: a.Name, Stencil: s})
+		}
+	}
+	reqs = append(reqs,
+		reqs[0], // duplicate: identical requests must produce identical bytes
+		ServeRequest{GPU: "NoSuchGPU", Stencil: stencil.Star(2, 1)},
+		ServeRequest{GPU: fw.Dataset.Archs[0].Name, Stencil: stencil.Stencil{Name: "empty", Dims: 2}},
+	)
+	return reqs
+}
+
+// assertBatchMatchesSerial checks every batched outcome against its
+// serial ServePredict twin: identical JSON bytes for successes, identical
+// error text for failures.
+func assertBatchMatchesSerial(t *testing.T, fw *Framework, reqs []ServeRequest, outs []ServeOutcome) {
+	t.Helper()
+	if len(outs) != len(reqs) {
+		t.Fatalf("%d outcomes for %d requests", len(outs), len(reqs))
+	}
+	for i, req := range reqs {
+		want, wantErr := fw.ServePredict(req.GPU, req.Stencil)
+		got, gotErr := outs[i].Prediction, outs[i].Err
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("req %d (%s on %s): serial err %v, batched err %v",
+				i, req.Stencil.Name, req.GPU, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("req %d: error drift:\nserial:  %v\nbatched: %v", i, wantErr, gotErr)
+			}
+			continue
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.AssertSameBytes(t, req.Stencil.Name+" on "+req.GPU, wantJSON, gotJSON)
+	}
+}
+
+// TestServePredictBatchMatchesSerial is the core determinism contract of
+// the coalescing tier: a batched call must be bitwise indistinguishable
+// from one ServePredict per request — same JSON bytes, same errors —
+// regardless of scheduler parallelism during the tuning fan-out.
+func TestServePredictBatchMatchesSerial(t *testing.T) {
+	fw := ckptFramework(t)
+	pairs := []struct {
+		ck ClassifierKind
+		rk RegressorKind
+	}{
+		{ClassGBDT, RegGB},
+		{ClassFcNet, RegMLP},
+	}
+	for _, pair := range pairs {
+		t.Run(pair.ck.String()+"_"+pair.rk.String(), func(t *testing.T) {
+			if err := fw.TrainAll(context.Background(), pair.ck, pair.rk); err != nil {
+				t.Fatal(err)
+			}
+			reqs := batchRequests(fw)
+			for _, procs := range []int{1, 4} {
+				t.Run(map[int]string{1: "GOMAXPROCS1", 4: "GOMAXPROCS4"}[procs], func(t *testing.T) {
+					testutil.WithGOMAXPROCS(t, procs, func() {
+						outs := fw.ServePredictBatch(reqs)
+						assertBatchMatchesSerial(t, fw, reqs, outs)
+					})
+				})
+			}
+		})
+	}
+}
+
+func TestServePredictBatchEmptyAndUntrained(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	if outs := fw.ServePredictBatch(nil); len(outs) != 0 {
+		t.Fatalf("nil batch gave %d outcomes", len(outs))
+	}
+	bare := &Framework{}
+	outs := bare.ServePredictBatch([]ServeRequest{{GPU: "x", Stencil: stencil.Star(2, 1)}})
+	if len(outs) != 1 || outs[0].Err == nil ||
+		!strings.Contains(outs[0].Err.Error(), "no trained models") {
+		t.Fatalf("untrained batch gave %+v", outs)
+	}
+}
+
+// panickyClassifier wraps a real classifier and panics on one poisoned
+// row: in the batched path whenever the batch contains it, in the
+// row-at-a-time path only for the row itself. It models a model bug one
+// request triggers, to prove the batch pipeline retries per item and
+// quarantines the failure.
+type panickyClassifier struct {
+	inner  ml.Classifier
+	poison []float64
+}
+
+func rowsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *panickyClassifier) FitClassifier(x [][]float64, y []int, k int) error {
+	return p.inner.FitClassifier(x, y, k)
+}
+func (p *panickyClassifier) PredictClass(row []float64) int { return p.inner.PredictClass(row) }
+func (p *panickyClassifier) PredictProba(row []float64) []float64 {
+	if rowsEqual(row, p.poison) {
+		panic("poisoned row")
+	}
+	return p.inner.PredictProba(row)
+}
+func (p *panickyClassifier) PredictProbaBatch(rows [][]float64) [][]float64 {
+	for _, r := range rows {
+		if rowsEqual(r, p.poison) {
+			panic("poisoned batch")
+		}
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = p.inner.PredictProba(r)
+	}
+	return out
+}
+
+// TestServePredictBatchIsolatesPoisonedRow: when the batched classifier
+// call panics, only the request that triggers the panic may fail — its
+// batchmates must still return predictions identical to serial calls.
+func TestServePredictBatchIsolatesPoisonedRow(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	gpuName := fw.Dataset.Archs[0].Name
+	good1, poisoned, good2 := stencil.Star(2, 2), stencil.Box(2, 1), stencil.Star(2, 3)
+
+	// Serial expectations, computed before the stub goes in.
+	wantGood1, err := fw.ServePredict(gpuName, good1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGood2, err := fw.ServePredict(gpuName, good2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	real := fw.Trained.Classifiers[gpuName][2]
+	fw.Trained.Classifiers[gpuName][2] = &panickyClassifier{
+		inner:  real,
+		poison: classEncode(fw.Trained.ClassifierKind, poisoned),
+	}
+	defer func() { fw.Trained.Classifiers[gpuName][2] = real }()
+
+	outs := fw.ServePredictBatch([]ServeRequest{
+		{GPU: gpuName, Stencil: good1},
+		{GPU: gpuName, Stencil: poisoned},
+		{GPU: gpuName, Stencil: good2},
+	})
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "classify panicked") {
+		t.Fatalf("poisoned request gave %+v, want classify panic error", outs[1])
+	}
+	for i, want := range map[int]*ServePrediction{0: wantGood1, 2: wantGood2} {
+		if outs[i].Err != nil {
+			t.Fatalf("batchmate %d failed: %v", i, outs[i].Err)
+		}
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(outs[i].Prediction)
+		testutil.AssertSameBytes(t, outs[i].Prediction.Stencil, wantJSON, gotJSON)
+	}
+}
+
+// panickyRegressor fails every multi-item batched call but serves
+// per-item row counts, forcing the pipeline onto its per-item regression
+// fallback — whose results must still match serial calls bitwise.
+type panickyRegressor struct {
+	inner   ml.Regressor
+	rowsCap int
+}
+
+func (p *panickyRegressor) FitRegressor(x [][]float64, y []float64) error {
+	return p.inner.FitRegressor(x, y)
+}
+func (p *panickyRegressor) PredictValue(row []float64) float64 { return p.inner.PredictValue(row) }
+func (p *panickyRegressor) PredictValueBatch(rows [][]float64) []float64 {
+	if len(rows) > p.rowsCap {
+		panic("batch too large")
+	}
+	return ml.PredictValueAll(p.inner, rows)
+}
+
+// TestServePredictBatchRegressionFallback: a panicking grouped regression
+// call must degrade to per-item scoring with no observable difference
+// from serial ServePredict.
+func TestServePredictBatchRegressionFallback(t *testing.T) {
+	fw := ckptFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []ServeRequest{}
+	for _, a := range fw.Dataset.Archs {
+		reqs = append(reqs, ServeRequest{GPU: a.Name, Stencil: stencil.Star(2, 2)})
+		reqs = append(reqs, ServeRequest{GPU: a.Name, Stencil: stencil.Box(2, 2)})
+	}
+	want := make([]*ServePrediction, len(reqs))
+	for i, req := range reqs {
+		p, err := fw.ServePredict(req.GPU, req.Stencil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+
+	reg := fw.Trained.Regressors[2]
+	realModel := reg.model
+	// Allow exactly one item's worth of rows (the per-item fallback and
+	// serial ServePredict both score len(archs) rows per call).
+	reg.model = &panickyRegressor{inner: realModel, rowsCap: len(fw.Dataset.Archs)}
+	defer func() { reg.model = realModel }()
+
+	outs := fw.ServePredictBatch(reqs)
+	for i := range reqs {
+		if outs[i].Err != nil {
+			t.Fatalf("req %d failed under fallback: %v", i, outs[i].Err)
+		}
+		wantJSON, _ := json.Marshal(want[i])
+		gotJSON, _ := json.Marshal(outs[i].Prediction)
+		testutil.AssertSameBytes(t, want[i].Stencil+" on "+want[i].GPU, wantJSON, gotJSON)
+	}
+}

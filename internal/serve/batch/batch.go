@@ -1,0 +1,352 @@
+// Package batch implements the request-coalescing front of the serving
+// tier: concurrent callers hand their requests to a Coalescer, which
+// collects them for up to a configurable window (or until a batch fills)
+// and scores the whole batch through one model call, fanning the results
+// back out to the waiting callers. The structure follows the per-GPU
+// command-queue + dispatcher idiom — one admission front feeding one
+// serialized execution lane — so models whose inference path reuses
+// scratch buffers (the nn forwards) stay correct without a global lock,
+// while the batched entry points (PredictProbaBatch / PredictValueBatch)
+// amortize per-call overhead across every waiter in the batch.
+//
+// The clock is injectable, so tests drive window expiry deterministically
+// instead of sleeping.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Do once the coalescer has been closed.
+var ErrClosed = errors.New("batch: coalescer closed")
+
+// Timer is the waitable half of an injectable clock.
+type Timer interface {
+	// C fires once when the timer expires.
+	C() <-chan time.Time
+	// Stop releases the timer; the channel may or may not have fired.
+	Stop() bool
+}
+
+// Clock creates timers. The zero configuration uses the real time
+// package; tests substitute a fake to control window expiry exactly.
+type Clock interface {
+	NewTimer(d time.Duration) Timer
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+type realClock struct{}
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// RealClock returns the wall-clock Clock used when Options.Clock is nil.
+func RealClock() Clock { return realClock{} }
+
+// Outcome is one request's result: a value or an error, never both.
+type Outcome[R any] struct {
+	Value R
+	Err   error
+}
+
+// ScoreFunc scores one batch. It must return exactly one outcome per
+// request, index-aligned. Once called, the score function owns the
+// requests — OnDrop is not invoked for them, so any per-request resources
+// (e.g. registry handles) must be released by the score function itself,
+// even on panic. A panicking score function fails its whole batch with an
+// error but does not kill the coalescer.
+type ScoreFunc[Q, R any] func(reqs []Q) []Outcome[R]
+
+// Options tunes a Coalescer.
+type Options[Q any] struct {
+	// Window is how long the collector waits for more requests after the
+	// first one arrives before flushing a partial batch. Zero or negative
+	// means no waiting: a batch is whatever is already queued.
+	Window time.Duration
+	// MaxBatch flushes a batch at this many requests regardless of the
+	// window. Values < 1 mean 1 (no coalescing; requests score one at a
+	// time through the same serialized lane).
+	MaxBatch int
+	// Clock drives window expiry; nil uses real time.
+	Clock Clock
+	// OnDrop is called for every request the coalescer fails without
+	// scoring (closed before collection). Callers use it to release
+	// per-request resources. May be nil.
+	OnDrop func(req Q)
+}
+
+// Stats is a point-in-time snapshot of coalescing behavior.
+type Stats struct {
+	// Batches and Requests count scored batches and the requests in them.
+	Batches  uint64 `json:"batches"`
+	Requests uint64 `json:"requests"`
+	// SizeFlushes, WindowFlushes, and CloseFlushes split Batches by what
+	// triggered the flush: MaxBatch saturation, window expiry (or a
+	// no-wait drain), or shutdown.
+	SizeFlushes   uint64 `json:"size_flushes"`
+	WindowFlushes uint64 `json:"window_flushes"`
+	CloseFlushes  uint64 `json:"close_flushes"`
+	// Dropped counts requests failed without scoring (closed).
+	Dropped uint64 `json:"dropped"`
+	// MaxBatch is the largest batch scored so far.
+	MaxBatch int `json:"max_batch"`
+	// AvgBatch is Requests / Batches.
+	AvgBatch float64 `json:"avg_batch"`
+}
+
+type call[Q, R any] struct {
+	req  Q
+	done chan Outcome[R] // buffered(1): the scorer never blocks on an abandoned waiter
+}
+
+// Coalescer is the admission front plus one serialized scoring lane.
+type Coalescer[Q, R any] struct {
+	opts  Options[Q]
+	score ScoreFunc[Q, R]
+
+	in      chan *call[Q, R]
+	scoreCh chan []*call[Q, R]
+	closed  chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	batches, requests         atomic.Uint64
+	sizeFl, windowFl, closeFl atomic.Uint64
+	dropped                   atomic.Uint64
+	maxBatch                  atomic.Int64
+}
+
+// New starts a coalescer: a collector goroutine forming batches and a
+// scorer goroutine running them through score, one at a time. Close it
+// when done.
+func New[Q, R any](opts Options[Q], score ScoreFunc[Q, R]) *Coalescer[Q, R] {
+	if opts.MaxBatch < 1 {
+		opts.MaxBatch = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = RealClock()
+	}
+	c := &Coalescer[Q, R]{
+		opts:  opts,
+		score: score,
+		// The admission buffer lets a full batch queue up while the
+		// previous one scores, overlapping collection with execution.
+		in:      make(chan *call[Q, R], opts.MaxBatch),
+		scoreCh: make(chan []*call[Q, R], 1),
+		closed:  make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.collect()
+	go c.run()
+	return c
+}
+
+// Do submits one request and blocks until its batch is scored, ctx is
+// done, or the coalescer closes. A ctx cancellation after submission
+// abandons the wait but not the work: the batch still scores (the result
+// is discarded), so batchmates are unaffected.
+func (c *Coalescer[Q, R]) Do(ctx context.Context, req Q) (R, error) {
+	var zero R
+	// Fail fast once closed; without this check the send below could race
+	// a concurrent Close and win the select against the closed channel.
+	select {
+	case <-c.closed:
+		c.drop(req)
+		return zero, ErrClosed
+	default:
+	}
+	cl := &call[Q, R]{req: req, done: make(chan Outcome[R], 1)}
+	select {
+	case c.in <- cl:
+	case <-c.closed:
+		c.drop(req)
+		return zero, ErrClosed
+	case <-ctx.Done():
+		c.drop(req)
+		return zero, ctx.Err()
+	}
+	select {
+	case out := <-cl.done:
+		return out.Value, out.Err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// Close stops admission, flushes and scores everything already submitted,
+// and waits for both goroutines to exit. Requests that never reached a
+// batch fail with ErrClosed (and OnDrop). Safe to call more than once.
+func (c *Coalescer[Q, R]) Close() {
+	c.once.Do(func() { close(c.closed) })
+	c.wg.Wait()
+	// A Do racing Close may have enqueued after the collector drained;
+	// fail any such straggler now.
+	c.drainIn()
+}
+
+// Stats snapshots the coalescing counters.
+func (c *Coalescer[Q, R]) Stats() Stats {
+	s := Stats{
+		Batches:       c.batches.Load(),
+		Requests:      c.requests.Load(),
+		SizeFlushes:   c.sizeFl.Load(),
+		WindowFlushes: c.windowFl.Load(),
+		CloseFlushes:  c.closeFl.Load(),
+		Dropped:       c.dropped.Load(),
+		MaxBatch:      int(c.maxBatch.Load()),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Requests) / float64(s.Batches)
+	}
+	return s
+}
+
+// collect forms batches: take the first waiting request, then gather more
+// until the batch fills, the window expires, or the coalescer closes.
+func (c *Coalescer[Q, R]) collect() {
+	defer c.wg.Done()
+	defer close(c.scoreCh)
+	for {
+		var first *call[Q, R]
+		select {
+		case first = <-c.in:
+		case <-c.closed:
+			c.drainIn()
+			return
+		}
+		batch := []*call[Q, R]{first}
+		closing := false
+		switch {
+		case c.opts.MaxBatch <= 1:
+			c.sizeFl.Add(1)
+		case c.opts.Window > 0:
+			timer := c.opts.Clock.NewTimer(c.opts.Window)
+		fill:
+			for len(batch) < c.opts.MaxBatch {
+				select {
+				case cl := <-c.in:
+					batch = append(batch, cl)
+				case <-timer.C():
+					c.windowFl.Add(1)
+					break fill
+				case <-c.closed:
+					closing = true
+					c.closeFl.Add(1)
+					break fill
+				}
+			}
+			timer.Stop()
+			if len(batch) == c.opts.MaxBatch {
+				c.sizeFl.Add(1)
+			}
+		default:
+			// No window: drain whatever is already queued.
+		drain:
+			for len(batch) < c.opts.MaxBatch {
+				select {
+				case cl := <-c.in:
+					batch = append(batch, cl)
+				default:
+					break drain
+				}
+			}
+			if len(batch) == c.opts.MaxBatch {
+				c.sizeFl.Add(1)
+			} else {
+				c.windowFl.Add(1)
+			}
+		}
+		c.batches.Add(1)
+		c.requests.Add(uint64(len(batch)))
+		for {
+			cur := c.maxBatch.Load()
+			if int64(len(batch)) <= cur || c.maxBatch.CompareAndSwap(cur, int64(len(batch))) {
+				break
+			}
+		}
+		// The scorer drains scoreCh until it closes, so this send always
+		// completes even during shutdown.
+		c.scoreCh <- batch
+		if closing {
+			c.drainIn()
+			return
+		}
+		select {
+		case <-c.closed:
+			c.drainIn()
+			return
+		default:
+		}
+	}
+}
+
+// run is the execution lane: one batch at a time through the score
+// function, results fanned back to the waiters.
+func (c *Coalescer[Q, R]) run() {
+	defer c.wg.Done()
+	for batch := range c.scoreCh {
+		outs := c.safeScore(batch)
+		for i, cl := range batch {
+			cl.done <- outs[i]
+		}
+	}
+}
+
+// safeScore invokes the score function, converting a panic or a
+// mis-shaped result into per-request errors so one bad batch cannot kill
+// the lane.
+func (c *Coalescer[Q, R]) safeScore(batch []*call[Q, R]) (outs []Outcome[R]) {
+	reqs := make([]Q, len(batch))
+	for i, cl := range batch {
+		reqs[i] = cl.req
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err := fmt.Errorf("batch: score panicked: %v", v)
+			outs = errOutcomes[R](len(batch), err)
+		}
+	}()
+	outs = c.score(reqs)
+	if len(outs) != len(batch) {
+		err := fmt.Errorf("batch: score returned %d outcomes for %d requests", len(outs), len(batch))
+		outs = errOutcomes[R](len(batch), err)
+	}
+	return outs
+}
+
+func errOutcomes[R any](n int, err error) []Outcome[R] {
+	outs := make([]Outcome[R], n)
+	for i := range outs {
+		outs[i].Err = err
+	}
+	return outs
+}
+
+// drop fails one request that never reached a batch.
+func (c *Coalescer[Q, R]) drop(req Q) {
+	c.dropped.Add(1)
+	if c.opts.OnDrop != nil {
+		c.opts.OnDrop(req)
+	}
+}
+
+// drainIn fails everything still queued for admission.
+func (c *Coalescer[Q, R]) drainIn() {
+	for {
+		select {
+		case cl := <-c.in:
+			c.drop(cl.req)
+			cl.done <- Outcome[R]{Err: ErrClosed}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTimer fires only when the test says so.
+type fakeTimer struct {
+	ch      chan time.Time
+	stopped atomic.Bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+func (t *fakeTimer) Stop() bool          { return !t.stopped.Swap(true) }
+func (t *fakeTimer) fire()               { t.ch <- time.Time{} }
+
+// fakeClock hands every created timer to the test through a channel, so
+// the test knows exactly when the collector has started a window (the
+// timer is created only after the batch's first request was consumed).
+type fakeClock struct {
+	timers chan *fakeTimer
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{timers: make(chan *fakeTimer, 16)} }
+
+func (c *fakeClock) NewTimer(d time.Duration) Timer {
+	t := &fakeTimer{ch: make(chan time.Time, 1)}
+	c.timers <- t
+	return t
+}
+
+func (c *fakeClock) next(t *testing.T) *fakeTimer {
+	t.Helper()
+	select {
+	case ft := <-c.timers:
+		return ft
+	case <-time.After(10 * time.Second):
+		t.Fatal("collector never created a window timer")
+		return nil
+	}
+}
+
+// echoScore doubles every request; the canonical correct-fan-out oracle.
+func echoScore(reqs []int) []Outcome[int] {
+	outs := make([]Outcome[int], len(reqs))
+	for i, q := range reqs {
+		outs[i] = Outcome[int]{Value: q * 2}
+	}
+	return outs
+}
+
+// doAsync submits req on a fresh goroutine and returns a channel with the
+// result.
+func doAsync(c *Coalescer[int, int], ctx context.Context, req int) chan Outcome[int] {
+	ch := make(chan Outcome[int], 1)
+	go func() {
+		v, err := c.Do(ctx, req)
+		ch <- Outcome[int]{Value: v, Err: err}
+	}()
+	return ch
+}
+
+func await(t *testing.T, ch chan Outcome[int]) Outcome[int] {
+	t.Helper()
+	select {
+	case out := <-ch:
+		return out
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never completed")
+		return Outcome[int]{}
+	}
+}
+
+// TestWindowExpiryFlushesPartialBatch: one waiting request, window fires,
+// the size-1 batch scores — deterministically, because the fake timer is
+// created only after the request is collected and fires only when told.
+func TestWindowExpiryFlushesPartialBatch(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Options[int]{Window: time.Hour, MaxBatch: 8, Clock: clock}, echoScore)
+	defer c.Close()
+
+	res := doAsync(c, context.Background(), 21)
+	clock.next(t).fire()
+	if out := await(t, res); out.Err != nil || out.Value != 42 {
+		t.Fatalf("got (%d, %v), want (42, nil)", out.Value, out.Err)
+	}
+	st := c.Stats()
+	if st.Batches != 1 || st.Requests != 1 || st.WindowFlushes != 1 || st.SizeFlushes != 0 {
+		t.Fatalf("stats %+v, want exactly one window-flushed batch of 1", st)
+	}
+}
+
+// TestWindowCoalescesConcurrentRequests: several requests submitted while
+// the window is open all complete with their own results; every flush is
+// a window flush (the batch never fills).
+func TestWindowCoalescesConcurrentRequests(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Options[int]{Window: time.Hour, MaxBatch: 8, Clock: clock}, echoScore)
+	defer c.Close()
+
+	const n = 5
+	results := make([]chan Outcome[int], n)
+	for i := 0; i < n; i++ {
+		results[i] = doAsync(c, context.Background(), i)
+	}
+	// Fire window timers until every request has flushed through; the
+	// collector creates a fresh timer per batch.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			out := await(t, results[i])
+			if out.Err != nil || out.Value != i*2 {
+				t.Errorf("request %d got (%d, %v), want (%d, nil)", i, out.Value, out.Err, i*2)
+			}
+		}
+		close(done)
+	}()
+	for {
+		select {
+		case ft := <-clock.timers:
+			ft.fire()
+		case <-done:
+			st := c.Stats()
+			if st.Requests != n || st.SizeFlushes != 0 {
+				t.Fatalf("stats %+v, want %d requests all window-flushed", st, n)
+			}
+			return
+		case <-time.After(10 * time.Second):
+			t.Fatal("requests never drained")
+		}
+	}
+}
+
+// TestMaxBatchSaturationFlush: exactly MaxBatch requests form exactly one
+// batch without the window ever firing.
+func TestMaxBatchSaturationFlush(t *testing.T) {
+	clock := newFakeClock()
+	var batchSizes []int
+	var mu sync.Mutex
+	score := func(reqs []int) []Outcome[int] {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(reqs))
+		mu.Unlock()
+		return echoScore(reqs)
+	}
+	c := New(Options[int]{Window: time.Hour, MaxBatch: 3, Clock: clock}, score)
+	defer c.Close()
+
+	results := make([]chan Outcome[int], 3)
+	for i := range results {
+		results[i] = doAsync(c, context.Background(), i+10)
+	}
+	for i, res := range results {
+		if out := await(t, res); out.Err != nil || out.Value != (i+10)*2 {
+			t.Fatalf("request %d got (%d, %v)", i, out.Value, out.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batchSizes) != 1 || batchSizes[0] != 3 {
+		t.Fatalf("batches %v, want one batch of 3", batchSizes)
+	}
+	st := c.Stats()
+	if st.SizeFlushes != 1 || st.WindowFlushes != 0 || st.MaxBatch != 3 {
+		t.Fatalf("stats %+v, want one size flush of 3", st)
+	}
+}
+
+// TestCancellationMidBatch: a waiter that cancels while its batch is
+// still collecting gets ctx.Err immediately; its batchmate is scored
+// normally and the lane keeps serving.
+func TestCancellationMidBatch(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Options[int]{Window: time.Hour, MaxBatch: 2, Clock: clock}, echoScore)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resA := doAsync(c, ctx, 1)
+	clock.next(t) // A is collected; its batch is waiting for a mate
+	cancel()
+	if out := await(t, resA); !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("cancelled waiter got (%d, %v), want context.Canceled", out.Value, out.Err)
+	}
+
+	// B joins A's still-open batch and saturates it; B must succeed even
+	// though its batchmate abandoned the wait.
+	resB := doAsync(c, context.Background(), 2)
+	if out := await(t, resB); out.Err != nil || out.Value != 4 {
+		t.Fatalf("batchmate of cancelled waiter got (%d, %v), want (4, nil)", out.Value, out.Err)
+	}
+
+	// The lane survives for the next batch.
+	resC := doAsync(c, context.Background(), 3)
+	clock.next(t).fire()
+	if out := await(t, resC); out.Err != nil || out.Value != 6 {
+		t.Fatalf("post-cancellation request got (%d, %v), want (6, nil)", out.Value, out.Err)
+	}
+	if st := c.Stats(); st.Requests != 3 {
+		t.Fatalf("stats %+v: the cancelled request must still have been scored", st)
+	}
+}
+
+// TestScorePanicFailsBatchNotLane: a panicking score function fails every
+// waiter in its batch with an error naming the panic, and the lane keeps
+// scoring subsequent batches.
+func TestScorePanicFailsBatchNotLane(t *testing.T) {
+	clock := newFakeClock()
+	score := func(reqs []int) []Outcome[int] {
+		for _, q := range reqs {
+			if q < 0 {
+				panic(fmt.Sprintf("poisoned request %d", q))
+			}
+		}
+		return echoScore(reqs)
+	}
+	c := New(Options[int]{Window: time.Hour, MaxBatch: 2, Clock: clock}, score)
+	defer c.Close()
+
+	resA := doAsync(c, context.Background(), -1)
+	clock.next(t)
+	resB := doAsync(c, context.Background(), 7) // saturates the batch
+	for name, res := range map[string]chan Outcome[int]{"poisoned": resA, "mate": resB} {
+		out := await(t, res)
+		if out.Err == nil || !strings.Contains(out.Err.Error(), "panic") {
+			t.Fatalf("%s request got (%d, %v), want a panic error", name, out.Value, out.Err)
+		}
+	}
+
+	resC := doAsync(c, context.Background(), 5)
+	clock.next(t).fire()
+	if out := await(t, resC); out.Err != nil || out.Value != 10 {
+		t.Fatalf("lane died after a score panic: (%d, %v)", out.Value, out.Err)
+	}
+}
+
+// TestMisshapedScoreResult: a score function returning the wrong number
+// of outcomes fails the batch with a descriptive error instead of
+// panicking the lane or cross-wiring results.
+func TestMisshapedScoreResult(t *testing.T) {
+	clock := newFakeClock()
+	c := New(Options[int]{Window: time.Hour, MaxBatch: 1, Clock: clock},
+		func(reqs []int) []Outcome[int] { return nil })
+	defer c.Close()
+	_, err := c.Do(context.Background(), 1)
+	if err == nil || !strings.Contains(err.Error(), "0 outcomes for 1 requests") {
+		t.Fatalf("err %v, want mis-shape error", err)
+	}
+}
+
+// TestCloseDrainsPendingBatch: close while a partial batch waits on its
+// window — the batch scores anyway (graceful drain) and later Do calls
+// fail fast with ErrClosed, invoking OnDrop.
+func TestCloseDrainsPendingBatch(t *testing.T) {
+	clock := newFakeClock()
+	var dropped atomic.Uint64
+	c := New(Options[int]{
+		Window: time.Hour, MaxBatch: 8, Clock: clock,
+		OnDrop: func(int) { dropped.Add(1) },
+	}, echoScore)
+
+	res := doAsync(c, context.Background(), 9)
+	clock.next(t) // request collected, window open
+	c.Close()
+	if out := await(t, res); out.Err != nil || out.Value != 18 {
+		t.Fatalf("in-flight request got (%d, %v) at close, want graceful (18, nil)", out.Value, out.Err)
+	}
+	st := c.Stats()
+	if st.CloseFlushes != 1 {
+		t.Fatalf("stats %+v, want one close flush", st)
+	}
+
+	if _, err := c.Do(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close gave %v, want ErrClosed", err)
+	}
+	if dropped.Load() != 1 {
+		t.Fatalf("dropped %d, want 1 (the post-close request)", dropped.Load())
+	}
+}
+
+// TestNoWaitMode: Window <= 0 never blocks on a timer — every request
+// completes with only what was already queued as its batch.
+func TestNoWaitMode(t *testing.T) {
+	c := New(Options[int]{Window: 0, MaxBatch: 8}, echoScore)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		v, err := c.Do(context.Background(), i)
+		if err != nil || v != i*2 {
+			t.Fatalf("request %d got (%d, %v)", i, v, err)
+		}
+	}
+	if st := c.Stats(); st.Requests != 10 {
+		t.Fatalf("stats %+v, want 10 requests", st)
+	}
+}
+
+// TestSerialLane: MaxBatch 1 degenerates to one-at-a-time scoring — the
+// single-mutex baseline mode the bench compares against.
+func TestSerialLane(t *testing.T) {
+	c := New(Options[int]{MaxBatch: 1}, echoScore)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), i)
+			if err != nil || v != i*2 {
+				t.Errorf("request %d got (%d, %v)", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Requests != 20 || st.MaxBatch != 1 {
+		t.Fatalf("stats %+v, want 20 size-1 batches", st)
+	}
+}
+
+// TestStressManyClients hammers a real-clock coalescer from many
+// goroutines; under -race this is the suite's interleaving probe. Every
+// response must belong to its own request — no cross-wiring, no losses.
+func TestStressManyClients(t *testing.T) {
+	score := func(reqs []int) []Outcome[int] {
+		time.Sleep(50 * time.Microsecond) // make batches actually coalesce
+		return echoScore(reqs)
+	}
+	c := New(Options[int]{Window: 100 * time.Microsecond, MaxBatch: 8}, score)
+	defer c.Close()
+
+	clients, perClient := 16, 25
+	if testing.Short() {
+		clients, perClient = 4, 10
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				q := g*1000 + k
+				v, err := c.Do(context.Background(), q)
+				if err != nil || v != q*2 {
+					failures.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d requests failed or got a stranger's result", failures.Load(), clients*perClient)
+	}
+	st := c.Stats()
+	if int(st.Requests) != clients*perClient {
+		t.Fatalf("stats %+v, want %d requests", st, clients*perClient)
+	}
+	if st.MaxBatch < 2 {
+		t.Logf("note: no coalescing observed under stress (max batch %d)", st.MaxBatch)
+	}
+}

@@ -1,0 +1,41 @@
+package batch
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// benchScore simulates a model call with a fixed per-call overhead plus a
+// small per-row cost — the shape batching exploits: a batch of K pays the
+// overhead once instead of K times.
+func benchScore(reqs []int) []Outcome[int] {
+	time.Sleep(20 * time.Microsecond) // per-call overhead
+	outs := make([]Outcome[int], len(reqs))
+	for i, q := range reqs {
+		outs[i] = Outcome[int]{Value: q + 1}
+	}
+	return outs
+}
+
+func benchCoalescer(b *testing.B, window time.Duration, maxBatch int) {
+	c := New(Options[int]{Window: window, MaxBatch: maxBatch}, benchScore)
+	defer c.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.Do(context.Background(), i); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkCoalescerSerialLane(b *testing.B) { benchCoalescer(b, 0, 1) }
+
+func BenchmarkCoalescerBatch32(b *testing.B) {
+	benchCoalescer(b, 100*time.Microsecond, 32)
+}

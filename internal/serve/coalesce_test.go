@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stencilmart/internal/serve/batch"
+	"stencilmart/internal/testutil"
+)
+
+// neverClock's timers never fire: under it, batches can only flush on
+// MaxBatch saturation, making batch composition deterministic for the
+// differential test regardless of scheduling.
+type neverClock struct{}
+
+type neverTimer struct{ ch chan time.Time }
+
+func (neverClock) NewTimer(time.Duration) batch.Timer { return neverTimer{make(chan time.Time)} }
+func (t neverTimer) C() <-chan time.Time              { return t.ch }
+func (neverTimer) Stop() bool                         { return true }
+
+// diffBodies builds M = shapes x GPUs distinct request bodies, M a
+// multiple of the batch size so saturation alone flushes every batch.
+func diffBodies(t *testing.T) []string {
+	t.Helper()
+	fw := testServer(t).fw
+	shapes := []string{"star2d1r", "star2d2r", "box2d1r", "star3d1r", "star3d2r", "box3d1r"}
+	var bodies []string
+	for _, sh := range shapes {
+		for _, a := range fw.Dataset.Archs {
+			bodies = append(bodies, fmt.Sprintf(`{"stencil":%q,"gpu":%q}`, sh, a.Name))
+		}
+	}
+	return bodies
+}
+
+// TestCoalescedDifferential is the serving tier's determinism proof: M
+// concurrent clients through the coalescing server must receive bodies
+// byte-identical to serial Framework.ServePredict calls, at any
+// GOMAXPROCS. Batches flush purely on saturation (the fake clock never
+// fires), so requests provably coalesce — this is not the serial lane in
+// disguise.
+func TestCoalescedDifferential(t *testing.T) {
+	fw := testServer(t).fw
+	bodies := diffBodies(t)
+	const batchSize = 8
+	if len(bodies)%batchSize != 0 {
+		t.Fatalf("%d bodies not a multiple of batch size %d", len(bodies), batchSize)
+	}
+
+	// Serial ground truth, encoded exactly as the handler encodes.
+	want := make(map[string][]byte, len(bodies))
+	for _, body := range bodies {
+		var req PredictRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		st, err := stencilFromRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := fw.ServePredict(req.GPU, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(pred); err != nil {
+			t.Fatal(err)
+		}
+		want[body] = buf.Bytes()
+	}
+
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("GOMAXPROCS%d", procs), func(t *testing.T) {
+			testutil.WithGOMAXPROCS(t, procs, func() {
+				s, err := NewWithOptions(fw, Options{
+					BatchWindow: time.Minute, // irrelevant: the clock never fires
+					BatchSize:   batchSize,
+					Clock:       neverClock{},
+					MaxInFlight: len(bodies),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				h := s.Handler()
+
+				got := make([][]byte, len(bodies))
+				codes := make([]int, len(bodies))
+				var wg sync.WaitGroup
+				for i, body := range bodies {
+					wg.Add(1)
+					go func(i int, body string) {
+						defer wg.Done()
+						rec := httptest.NewRecorder()
+						req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+						h.ServeHTTP(rec, req)
+						codes[i], got[i] = rec.Code, rec.Body.Bytes()
+					}(i, body)
+				}
+				wg.Wait()
+
+				for i, body := range bodies {
+					if codes[i] != http.StatusOK {
+						t.Fatalf("request %q gave %d: %s", body, codes[i], got[i])
+					}
+					testutil.AssertSameBytes(t, body, want[body], got[i])
+				}
+
+				st := s.co.Stats()
+				wantBatches := uint64(len(bodies) / batchSize)
+				if st.Batches != wantBatches || st.SizeFlushes != wantBatches {
+					t.Fatalf("batch stats %+v, want %d saturation flushes", st, wantBatches)
+				}
+				if st.MaxBatch != batchSize {
+					t.Fatalf("max batch %d, want %d", st.MaxBatch, batchSize)
+				}
+			})
+		})
+	}
+}
+
+// TestModelVersionPinning: ?model=vN routes to that version, unknown
+// versions 404, and /modelz lists what is live.
+func TestModelVersionPinning(t *testing.T) {
+	s := hardenedServer(t, Options{BatchWindow: -1})
+	if _, err := s.Registry().Publish(s.fw); err != nil { // v2, same models
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	for _, pin := range []string{"", "?model=v1", "?model=v2"} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/predict"+pin, strings.NewReader(`{"stencil":"star2d1r","gpu":"V100"}`))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict %q gave %d: %s", pin, rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/predict?model=v9", strings.NewReader(`{"stencil":"star2d1r","gpu":"V100"}`))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model pin gave %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/modelz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("modelz gave %d", rec.Code)
+	}
+	var out struct {
+		Current  string `json:"current"`
+		Versions []struct {
+			Version string `json:"version"`
+		} `json:"versions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Current != "v2" || len(out.Versions) != 2 {
+		t.Fatalf("modelz listing %+v, want v2 current of 2", out)
+	}
+}
+
+// TestModelSwapUnderLoad is the rollout acceptance test: while clients
+// hammer /predict, a checkpoint publishes as v2 and v1 retires — and not
+// one request may fail. Pinned v1 requests work before the swap and 404
+// after v1 is drained away.
+func TestModelSwapUnderLoad(t *testing.T) {
+	fw := testServer(t).fw
+	ckpt := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := fw.SaveFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewWithOptions(fw, Options{
+		BatchWindow: 200 * time.Microsecond,
+		BatchSize:   8,
+		MaxInFlight: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	post := func(target, body string) (int, string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	// Pinned v1 serves before the swap.
+	if code, body := post("/predict?model=v1", `{"stencil":"star2d1r","gpu":"V100"}`); code != http.StatusOK {
+		t.Fatalf("pinned v1 pre-swap gave %d: %s", code, body)
+	}
+
+	const clients, perClient = 6, 25
+	bodies := diffBodies(t)
+	type failure struct {
+		code int
+		body string
+	}
+	failures := make(chan failure, clients*perClient)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				code, body := post("/predict", bodies[(c*perClient+i)%len(bodies)])
+				if code != http.StatusOK {
+					failures <- failure{code, body}
+				}
+			}
+		}(c)
+	}
+	close(start)
+
+	// Roll out mid-load: publish the checkpoint, drain and retire v1.
+	code, body := post("/modelz", fmt.Sprintf(`{"path":%q,"retire_old":true}`, ckpt))
+	if code != http.StatusOK {
+		t.Fatalf("rollout gave %d: %s", code, body)
+	}
+	var roll struct {
+		Published string `json:"published"`
+		Current   string `json:"current"`
+		Retired   string `json:"retired"`
+	}
+	if err := json.Unmarshal([]byte(body), &roll); err != nil {
+		t.Fatal(err)
+	}
+	if roll.Published != "v2" || roll.Current != "v2" || roll.Retired != "v1" {
+		t.Fatalf("rollout response %+v", roll)
+	}
+
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Errorf("request failed during rollout: %d %s", f.code, f.body)
+	}
+
+	// v1 is gone: pinned requests 404 now.
+	if code, body := post("/predict?model=v1", `{"stencil":"star2d1r","gpu":"V100"}`); code != http.StatusNotFound {
+		t.Fatalf("pinned v1 post-retire gave %d: %s", code, body)
+	}
+	vs := s.Registry().Versions()
+	if len(vs) != 1 || vs[0].Version != "v2" || vs[0].Refs != 0 {
+		t.Fatalf("versions after rollout %+v, want only v2 with no refs", vs)
+	}
+}

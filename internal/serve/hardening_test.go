@@ -20,7 +20,21 @@ func hardenedServer(t *testing.T, opts Options) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
+}
+
+// serialStub adapts a one-request prediction double to the batch predict
+// signature, preserving the old stub style of these tests.
+func serialStub(fn func(archName string, st stencil.Stencil) (*core.ServePrediction, error)) predictBatchFn {
+	return func(fw *core.Framework, reqs []core.ServeRequest) []core.ServeOutcome {
+		outs := make([]core.ServeOutcome, len(reqs))
+		for i, r := range reqs {
+			p, err := fn(r.GPU, r.Stencil)
+			outs[i] = core.ServeOutcome{Prediction: p, Err: err}
+		}
+		return outs
+	}
 }
 
 // statsOf fetches and decodes /statsz.
@@ -42,9 +56,9 @@ func statsOf(t *testing.T, h http.Handler) StatsResponse {
 // error and a counted fault, and the server keeps serving afterwards.
 func TestPredictPanicRecovered(t *testing.T) {
 	s := hardenedServer(t, Options{})
-	s.predictFn = func(string, stencil.Stencil) (*core.ServePrediction, error) {
+	s.setPredict(serialStub(func(string, stencil.Stencil) (*core.ServePrediction, error) {
 		panic("poisoned checkpoint")
-	}
+	}))
 	h := s.Handler()
 
 	rec, out := postPredict(t, h, `{"stencil":"star2d1r","gpu":"V100"}`)
@@ -69,7 +83,7 @@ func TestPredictPanicRecovered(t *testing.T) {
 	}
 
 	// Un-poison the server and predict for real — no lasting damage.
-	s.predictFn = s.fw.ServePredict
+	s.setPredict(nil)
 	rec3, out3 := postPredict(t, h, `{"stencil":"star2d1r","gpu":"V100"}`)
 	if rec3.Code != http.StatusOK {
 		t.Fatalf("predict after recovery gave %d (%v)", rec3.Code, out3)
@@ -83,12 +97,11 @@ func TestPredictLoadShed(t *testing.T) {
 	s := hardenedServer(t, Options{MaxInFlight: 1})
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	real := s.predictFn
-	s.predictFn = func(arch string, st stencil.Stencil) (*core.ServePrediction, error) {
+	s.setPredict(serialStub(func(arch string, st stencil.Stencil) (*core.ServePrediction, error) {
 		entered <- struct{}{}
 		<-release
-		return real(arch, st)
-	}
+		return s.fw.ServePredict(arch, st)
+	}))
 	h := s.Handler()
 
 	firstDone := make(chan int, 1)

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of a latency histogram: powers of
+// two from 1µs, so bucket i covers [1µs<<(i-1), 1µs<<i) and the last
+// bucket is open-ended at ~2 minutes — wide enough for any served
+// request, cheap enough to snapshot on every /statsz hit.
+const histBuckets = 28
+
+// histBound returns the exclusive upper bound of bucket i.
+func histBound(i int) time.Duration { return time.Microsecond << i }
+
+// latencyHist is a fixed-bucket exponential histogram with atomic
+// counters: observation is one Add on the hot path, and quantiles are
+// interpolated from bucket boundaries on the (cold) stats path. Unlike
+// the average it replaces, it keeps tail latencies visible — a p999
+// stuck behind a slow batch shows up even when the mean looks healthy.
+type latencyHist struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+// observe records one duration.
+func (h *latencyHist) observe(d time.Duration) {
+	for i := 0; i < histBuckets-1; i++ {
+		if d < histBound(i) {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[histBuckets-1].Add(1)
+}
+
+// quantile returns the q-quantile (0 < q <= 1) estimate in nanoseconds,
+// interpolating linearly inside the bucket that holds the target rank.
+// Returns 0 when the histogram is empty.
+func (h *latencyHist) quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lower := 0.0
+			if i > 0 {
+				lower = float64(histBound(i - 1).Nanoseconds())
+			}
+			upper := float64(histBound(i).Nanoseconds())
+			return lower + (upper-lower)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return float64(histBound(histBuckets - 1).Nanoseconds())
+}
+
+// quantileMillis converts a quantile estimate to milliseconds.
+func (h *latencyHist) quantileMillis(q float64) float64 { return h.quantile(q) / 1e6 }

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries pins the bucket layout: bucket i covers
+// [1µs<<(i-1), 1µs<<i), boundaries land in the upper bucket, and the
+// last bucket absorbs everything beyond the range.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{999 * time.Nanosecond, 0},
+		{time.Microsecond, 1}, // exactly on a boundary -> upper bucket
+		{2*time.Microsecond - 1, 1},
+		{2 * time.Microsecond, 2},
+		{time.Millisecond, 10},        // 1000µs < 1024µs = 1µs<<10
+		{1024 * time.Microsecond, 11}, // exactly 1µs<<10 -> upper bucket
+		{time.Second, 20},             // 1e6µs < 2^20µs
+		{time.Hour, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		var h latencyHist
+		h.observe(tc.d)
+		for i := range h.counts {
+			got := h.counts[i].Load()
+			switch {
+			case i == tc.bucket && got != 1:
+				t.Errorf("observe(%v): bucket %d count %d, want 1", tc.d, i, got)
+			case i != tc.bucket && got != 0:
+				t.Errorf("observe(%v): stray count in bucket %d (want bucket %d)", tc.d, i, tc.bucket)
+			}
+		}
+	}
+}
+
+func TestHistQuantilesEmpty(t *testing.T) {
+	var h latencyHist
+	if q := h.quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %g", q)
+	}
+}
+
+// TestHistQuantilesBounded: every quantile estimate must land inside the
+// bucket that holds its rank, for a spread of known observations.
+func TestHistQuantilesBounded(t *testing.T) {
+	var h latencyHist
+	// 90 fast requests in [512µs, 1024µs), 9 slow in [32ms, 65ms),
+	// 1 outlier in [1.07s, 2.14s).
+	for i := 0; i < 90; i++ {
+		h.observe(600 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.observe(40 * time.Millisecond)
+	}
+	h.observe(1500 * time.Millisecond)
+
+	within := func(q float64, lo, hi time.Duration) {
+		t.Helper()
+		ns := h.quantile(q)
+		if ns < float64(lo.Nanoseconds()) || ns > float64(hi.Nanoseconds()) {
+			t.Fatalf("q%.3f = %.0fns, want within [%v, %v]", q, ns, lo, hi)
+		}
+	}
+	within(0.50, 512*time.Microsecond, 1024*time.Microsecond)
+	within(0.99, 32*time.Millisecond, 66*time.Millisecond)
+	// p999 of 100 observations is the max: the outlier's bucket.
+	within(0.999, 1073*time.Millisecond, 2148*time.Millisecond)
+
+	// Quantiles are monotone in q.
+	if !(h.quantile(0.5) <= h.quantile(0.99) && h.quantile(0.99) <= h.quantile(0.999)) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+// TestHistQuantileInterpolates: a uniform single-bucket population
+// interpolates across the bucket instead of snapping to an edge.
+func TestHistQuantileInterpolates(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 100; i++ {
+		h.observe(3 * time.Microsecond) // bucket [2µs, 4µs)
+	}
+	lo, hi := 2*time.Microsecond, 4*time.Microsecond
+	p25, p75 := h.quantile(0.25), h.quantile(0.75)
+	if p25 < float64(lo.Nanoseconds()) || p75 > float64(hi.Nanoseconds()) {
+		t.Fatalf("p25=%.0f p75=%.0f outside bucket [%v,%v]", p25, p75, lo, hi)
+	}
+	if p25 >= p75 {
+		t.Fatalf("interpolation collapsed: p25=%.0f >= p75=%.0f", p25, p75)
+	}
+}

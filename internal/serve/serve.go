@@ -3,7 +3,14 @@
 // predicted optimization class, a tuned parameter setting, predicted
 // times on every catalog GPU, and the rent-advisor verdict. The server
 // is the deploy-side half of the train-once/predict-cheaply contract —
-// it never trains or profiles; it serves a checkpoint.
+// it never trains or profiles; it serves checkpoints.
+//
+// Two mechanisms replace the global model mutex of earlier revisions:
+// concurrent /predict requests coalesce into batches scored through one
+// core.ServePredictBatch call (internal/serve/batch), and models live in
+// a versioned registry (internal/serve/registry) whose refcounted handles
+// let checkpoints hot-swap under load — publish a new version, drain the
+// old one, zero failed requests.
 package serve
 
 import (
@@ -14,11 +21,12 @@ import (
 	"net"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"stencilmart/internal/core"
+	"stencilmart/internal/serve/batch"
+	"stencilmart/internal/serve/registry"
 	"stencilmart/internal/stencil"
 )
 
@@ -26,9 +34,17 @@ import (
 const DefaultTimeout = 30 * time.Second
 
 // DefaultMaxInFlight bounds concurrently admitted /predict requests;
-// excess load is shed with 503 instead of queueing without bound behind
-// the serialized model.
-const DefaultMaxInFlight = 8
+// excess load is shed with 503 instead of queueing without bound. With
+// coalescing, admitted requests wait in batches rather than on a mutex
+// convoy, so the cap sits well above the old serialized default.
+const DefaultMaxInFlight = 64
+
+// DefaultBatchWindow is how long the coalescer waits for batchmates
+// after the first request of a batch arrives.
+const DefaultBatchWindow = 500 * time.Microsecond
+
+// DefaultBatchSize caps a coalesced batch.
+const DefaultBatchSize = 32
 
 // MaxRequestBytes bounds a /predict body; larger requests get 413.
 const MaxRequestBytes = 1 << 20
@@ -40,6 +56,16 @@ type Options struct {
 	// MaxInFlight bounds admitted /predict requests (DefaultMaxInFlight
 	// if 0); requests beyond it are shed with 503 + Retry-After.
 	MaxInFlight int
+	// BatchWindow is the coalescing window (DefaultBatchWindow if 0,
+	// negative for no waiting: a batch is whatever is queued).
+	BatchWindow time.Duration
+	// BatchSize caps a coalesced batch (DefaultBatchSize if 0); 1 scores
+	// requests one at a time through the same serialized lane — the
+	// baseline the bench harness compares against.
+	BatchSize int
+	// Clock drives the coalescing window; nil uses real time. Tests
+	// inject a fake to flush batches deterministically.
+	Clock batch.Clock
 }
 
 // endpointStats aggregates per-endpoint counters with atomics so the
@@ -48,21 +74,29 @@ type endpointStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	totalNS  atomic.Int64
+	hist     latencyHist
 }
 
 func (s *endpointStats) observe(d time.Duration, failed bool) {
 	s.requests.Add(1)
 	s.totalNS.Add(d.Nanoseconds())
+	s.hist.observe(d)
 	if failed {
 		s.errors.Add(1)
 	}
 }
 
-// EndpointSnapshot is one endpoint's counters in /statsz.
+// EndpointSnapshot is one endpoint's counters in /statsz. The latency
+// quantiles come from a fixed-bucket exponential histogram, so tail
+// behavior (a p999 hiding behind a healthy mean) is visible.
 type EndpointSnapshot struct {
 	Requests  uint64  `json:"requests"`
 	Errors    uint64  `json:"errors"`
 	AvgMillis float64 `json:"avg_millis"`
+	P50Millis float64 `json:"p50_millis"`
+	P99Millis float64 `json:"p99_millis"`
+	// P999Millis is the 99.9th percentile latency in milliseconds.
+	P999Millis float64 `json:"p999_millis"`
 }
 
 func (s *endpointStats) snapshot() EndpointSnapshot {
@@ -70,23 +104,39 @@ func (s *endpointStats) snapshot() EndpointSnapshot {
 	out := EndpointSnapshot{Requests: n, Errors: s.errors.Load()}
 	if n > 0 {
 		out.AvgMillis = float64(s.totalNS.Load()) / float64(n) / 1e6
+		out.P50Millis = s.hist.quantileMillis(0.50)
+		out.P99Millis = s.hist.quantileMillis(0.99)
+		out.P999Millis = s.hist.quantileMillis(0.999)
 	}
 	return out
 }
 
-// Server serves predictions from one trained framework.
+// predictJob is one /predict request inside the coalescer: the model
+// lease it acquired at admission plus the request itself. The lease is
+// released exactly once — by scoreBatch after scoring, or by the
+// coalescer's drop hook if the job never reaches a batch.
+type predictJob struct {
+	h   *registry.Handle
+	req core.ServeRequest
+}
+
+// predictBatchFn scores one batch of requests against one framework.
+// Tests substitute doubles that block or panic.
+type predictBatchFn func(fw *core.Framework, reqs []core.ServeRequest) []core.ServeOutcome
+
+// Server serves predictions from a versioned registry of trained
+// frameworks through a request-coalescing lane.
 type Server struct {
-	fw *core.Framework
-	// mu serializes model access: the nn mechanisms share forward
-	// scratch buffers and are not goroutine-safe. Requests still overlap
-	// in decode/encode; only the predict step is serial.
-	mu      sync.Mutex
+	fw      *core.Framework // the initially published framework (stats fallback)
+	reg     *registry.Registry
+	co      *batch.Coalescer[predictJob, *core.ServePrediction]
 	timeout time.Duration
 	started time.Time
 
 	healthz endpointStats
 	statsz  endpointStats
 	predict endpointStats
+	modelz  endpointStats
 
 	// inflight is the /predict admission semaphore; fault counters feed
 	// the /statsz fault snapshot.
@@ -95,9 +145,9 @@ type Server struct {
 	shed     atomic.Uint64
 	oversize atomic.Uint64
 
-	// predictFn is the prediction step; tests substitute doubles that
-	// block or panic. Callers of it must hold mu.
-	predictFn func(archName string, s stencil.Stencil) (*core.ServePrediction, error)
+	// predictFn is the batch prediction step, swapped atomically because
+	// the scorer goroutine reads it while tests replace it.
+	predictFn atomic.Pointer[predictBatchFn]
 }
 
 // New wraps a trained framework in a server with default hardening. The
@@ -107,25 +157,129 @@ func New(fw *core.Framework, timeout time.Duration) (*Server, error) {
 	return NewWithOptions(fw, Options{Timeout: timeout})
 }
 
-// NewWithOptions is New with explicit hardening knobs.
+// NewWithOptions is New with explicit hardening knobs: the framework is
+// published as v1 of a fresh registry.
 func NewWithOptions(fw *core.Framework, opts Options) (*Server, error) {
-	if fw.Trained == nil {
+	reg := registry.New()
+	if _, err := reg.Publish(fw); err != nil {
 		return nil, fmt.Errorf("serve: framework has no trained models (train or load a checkpoint first)")
 	}
+	return NewWithRegistry(reg, opts)
+}
+
+// NewWithRegistry serves an externally managed registry, which must
+// already hold a current version.
+func NewWithRegistry(reg *registry.Registry, opts Options) (*Server, error) {
+	h, err := reg.Acquire("")
+	if err != nil {
+		return nil, fmt.Errorf("serve: registry has no current model: %w", err)
+	}
+	fw := h.Framework()
+	h.Release()
+
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
 	}
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
+	if opts.BatchWindow == 0 {
+		opts.BatchWindow = DefaultBatchWindow
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
 	s := &Server{
 		fw:       fw,
+		reg:      reg,
 		timeout:  opts.Timeout,
 		started:  time.Now(),
 		inflight: make(chan struct{}, opts.MaxInFlight),
 	}
-	s.predictFn = s.fw.ServePredict
+	s.setPredict(nil)
+	s.co = batch.New(batch.Options[predictJob]{
+		Window:   opts.BatchWindow,
+		MaxBatch: opts.BatchSize,
+		Clock:    opts.Clock,
+		// A job dropped before scoring still holds its model lease.
+		OnDrop: func(j predictJob) { j.h.Release() },
+	}, s.scoreBatch)
 	return s, nil
+}
+
+// setPredict swaps the batch prediction function; nil restores the real
+// model path.
+func (s *Server) setPredict(fn predictBatchFn) {
+	if fn == nil {
+		fn = (*core.Framework).ServePredictBatch
+	}
+	s.predictFn.Store(&fn)
+}
+
+// Registry exposes the server's model registry for out-of-band rollout
+// (tests, admin tooling).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Close drains the coalescing lane: queued requests fail with 503 and
+// the scorer goroutines exit. The HTTP handler stays mounted but sheds
+// everything; use it at process shutdown.
+func (s *Server) Close() { s.co.Close() }
+
+// scoreBatch is the coalescer's score function: jobs group by leased
+// framework (a batch spanning a hot-swap scores each version's requests
+// against its own models), every group scores through one batched model
+// call, and all leases release on the way out — panics included.
+func (s *Server) scoreBatch(jobs []predictJob) []batch.Outcome[*core.ServePrediction] {
+	outs := make([]batch.Outcome[*core.ServePrediction], len(jobs))
+	byFW := make(map[*core.Framework][]int)
+	var order []*core.Framework
+	for i, j := range jobs {
+		fw := j.h.Framework()
+		if _, seen := byFW[fw]; !seen {
+			order = append(order, fw)
+		}
+		byFW[fw] = append(byFW[fw], i)
+	}
+	for _, fw := range order {
+		s.scoreGroup(fw, byFW[fw], jobs, outs)
+	}
+	return outs
+}
+
+// scoreGroup scores one same-framework slice of a batch. A panicking
+// predict function fails this group with counted "internal error"
+// outcomes — its batchmates in other groups and the lane itself are
+// unaffected — and the deferred releases keep the registry drainable.
+func (s *Server) scoreGroup(fw *core.Framework, idxs []int, jobs []predictJob, outs []batch.Outcome[*core.ServePrediction]) {
+	defer func() {
+		for _, i := range idxs {
+			jobs[i].h.Release()
+		}
+	}()
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			err := fmt.Errorf("internal error: predict panicked: %v", v)
+			for _, i := range idxs {
+				outs[i] = batch.Outcome[*core.ServePrediction]{Err: err}
+			}
+		}
+	}()
+	reqs := make([]core.ServeRequest, len(idxs))
+	for k, i := range idxs {
+		reqs[k] = jobs[i].req
+	}
+	res := (*s.predictFn.Load())(fw, reqs)
+	if len(res) != len(idxs) {
+		err := fmt.Errorf("internal error: predict returned %d outcomes for %d requests", len(res), len(idxs))
+		for _, i := range idxs {
+			outs[i] = batch.Outcome[*core.ServePrediction]{Err: err}
+		}
+		return
+	}
+	for k, i := range idxs {
+		outs[i] = batch.Outcome[*core.ServePrediction]{Value: res[k].Prediction, Err: res[k].Err}
+	}
 }
 
 // Handler returns the service's HTTP handler: panic recovery around
@@ -134,6 +288,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/modelz", s.handleModelz)
 	mux.Handle("/predict", http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, `{"error":"prediction timed out"}`))
 	return s.recoverPanics(mux)
 }
@@ -218,13 +373,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatsResponse is the /statsz body: the sim memo-cache counters and
-// per-endpoint latency aggregates.
+// StatsResponse is the /statsz body: the sim memo-cache counters,
+// per-endpoint latency aggregates, coalescing behavior, and the model
+// registry's live versions.
 type StatsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	SimCache      SimCacheSnapshot            `json:"sim_cache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Faults        FaultSnapshot               `json:"faults"`
+	Batch         batch.Stats                 `json:"batch"`
+	Models        []registry.VersionInfo      `json:"models"`
 }
 
 // FaultSnapshot reports the hardening counters: every time the server
@@ -247,6 +405,17 @@ type SimCacheSnapshot struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// statsFramework picks the framework whose sim-cache counters /statsz
+// reports: the current registry version, falling back to the framework
+// the server was built with.
+func (s *Server) statsFramework() *core.Framework {
+	if h, err := s.reg.Acquire(""); err == nil {
+		defer h.Release()
+		return h.Framework()
+	}
+	return s.fw
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.statsz.observe(time.Since(start), false) }()
@@ -254,7 +423,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
 		return
 	}
-	cs := s.fw.Model.CacheStats()
+	cs := s.statsFramework().Model.CacheStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		SimCache: SimCacheSnapshot{
@@ -265,13 +434,76 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"healthz": s.healthz.snapshot(),
 			"statsz":  s.statsz.snapshot(),
 			"predict": s.predict.snapshot(),
+			"modelz":  s.modelz.snapshot(),
 		},
 		Faults: FaultSnapshot{
 			PanicsRecovered:  s.panics.Load(),
 			LoadShed:         s.shed.Load(),
 			OversizeRequests: s.oversize.Load(),
 		},
+		Batch:  s.co.Stats(),
+		Models: s.reg.Versions(),
 	})
+}
+
+// ModelzRequest is the POST /modelz body: publish the checkpoint at Path
+// as the next version; with RetireOld the previous current version is
+// drained and removed once its in-flight batches finish.
+type ModelzRequest struct {
+	Path      string `json:"path"`
+	RetireOld bool   `json:"retire_old,omitempty"`
+}
+
+// handleModelz lists model versions (GET) and rolls out checkpoints
+// (POST). A publish failure leaves the serving set untouched, so a bad
+// checkpoint on disk can never take down a healthy server.
+func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.modelz.observe(time.Since(start), failed) }()
+	switch r.Method {
+	case http.MethodGet:
+		failed = false
+		writeJSON(w, http.StatusOK, map[string]any{
+			"current":  s.reg.CurrentVersion(),
+			"versions": s.reg.Versions(),
+		})
+	case http.MethodPost:
+		var req ModelzRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return
+		}
+		if req.Path == "" {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing path"})
+			return
+		}
+		prev := s.reg.CurrentVersion()
+		v, err := s.reg.PublishFile(req.Path)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "publish failed: " + err.Error()})
+			return
+		}
+		retired := ""
+		if req.RetireOld && prev != "" {
+			// Blocks until the old version's in-flight batches drain —
+			// that is the rollout contract, not a hazard: new requests
+			// already lease v.
+			if err := s.reg.Retire(prev); err == nil {
+				retired = prev
+			}
+		}
+		failed = false
+		writeJSON(w, http.StatusOK, map[string]any{
+			"published": v,
+			"current":   s.reg.CurrentVersion(),
+			"retired":   retired,
+		})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST only"})
+	}
 }
 
 // PredictRequest is the /predict body. A stencil is named (classic
@@ -316,6 +548,26 @@ func stencilFromRequest(req PredictRequest) (stencil.Stencil, error) {
 	}
 }
 
+// predictStatus maps a prediction error to its HTTP status.
+func predictStatus(err error) int {
+	switch {
+	case errors.Is(err, batch.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The timeout middleware already answered; the status here is
+		// for accounting only.
+		return http.StatusServiceUnavailable
+	case strings.HasPrefix(err.Error(), "internal error"):
+		return http.StatusInternalServerError
+	case strings.Contains(err.Error(), "unknown"),
+		strings.Contains(err.Error(), "not in dataset"),
+		strings.Contains(err.Error(), "no trained"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	failed := true
@@ -327,7 +579,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission control: shed load beyond the in-flight cap instead of
-	// queueing unboundedly behind the serialized model.
+	// queueing unboundedly behind the scoring lane.
 	select {
 	case s.inflight <- struct{}{}:
 		defer func() { <-s.inflight }()
@@ -362,21 +614,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The unlock is deferred inside the closure so a panicking predict
-	// releases the model mutex on its way to the recovery middleware.
-	pred, err := func() (*core.ServePrediction, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.predictFn(req.GPU, st)
-	}()
+	// Lease a model version: ?model=vN pins one, otherwise the request
+	// follows the registry's current pointer. The lease travels with the
+	// job through the coalescer and is released after scoring, so a
+	// hot-swap can never free a version out from under an in-flight
+	// batch.
+	h, err := s.reg.Acquire(r.URL.Query().Get("model"))
 	if err != nil {
-		status := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "unknown") ||
-			strings.Contains(err.Error(), "not in dataset") ||
-			strings.Contains(err.Error(), "no trained") {
-			status = http.StatusBadRequest
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, registry.ErrUnknownVersion) || errors.Is(err, registry.ErrRetiring) {
+			status = http.StatusNotFound
 		}
 		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+
+	job := predictJob{h: h, req: core.ServeRequest{GPU: req.GPU, Stencil: st}}
+	pred, err := s.co.Do(r.Context(), job)
+	if err != nil {
+		writeJSON(w, predictStatus(err), errorBody{Error: err.Error()})
 		return
 	}
 	failed = false

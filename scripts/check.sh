@@ -22,10 +22,10 @@ go test -race ./...
 
 echo "== bench smoke (race) =="
 # One iteration of every kernel/training benchmark under the race
-# detector: proves the GEMM backbone, the nn layers, and the histogram
-# tree trainer execute their parallel paths cleanly, without paying for
-# a full benchmark run.
-go test -race -run='^$' -bench=. -benchtime=1x ./internal/linalg/ ./internal/ml/nn/ ./internal/ml/tree/
+# detector: proves the GEMM backbone, the nn layers, the histogram
+# tree trainer, and the request coalescer execute their parallel paths
+# cleanly, without paying for a full benchmark run.
+go test -race -run='^$' -bench=. -benchtime=1x ./internal/linalg/ ./internal/ml/nn/ ./internal/ml/tree/ ./internal/serve/batch/
 
 echo "== serve smoke =="
 # Train a tiny checkpoint, serve it on a random port, and exercise

@@ -1,0 +1,73 @@
+#!/bin/sh
+# serve_bench.sh — the serving-tier benchmark harness: train a smoke
+# checkpoint, then drive the server with the loadgen at rising
+# concurrency in two configurations — the serialized baseline
+# (-batch-size 1, one model call per request, the old global-mutex
+# behavior) and the coalescing default — appending every run to a single
+# JSON array (BENCH_serve.json). Each configuration gets a fresh server
+# process, so both sweep an identically cold sim cache. Run from the
+# repository root:
+#
+#   sh scripts/serve_bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_serve.json}"
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/stencilmart" ./cmd/stencilmart
+
+echo "-- train (smoke preset) --"
+"$tmp/stencilmart" train -preset smoke -out "$tmp/model.ckpt" >"$tmp/train.log" 2>&1 || {
+    cat "$tmp/train.log"; echo "serve bench: train failed" >&2; exit 1
+}
+
+rm -f "$out"
+
+wait_for_addr() {
+    base=""
+    i=0
+    while [ $i -lt 100 ]; do
+        base="$(sed -n 's/^serving on \(http:\/\/.*\)$/\1/p' "$tmp/serve.log" | head -n1)"
+        [ -n "$base" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            cat "$tmp/serve.log"; echo "serve bench: server exited early" >&2; exit 1
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    [ -n "$base" ] || { echo "serve bench: server never announced its address" >&2; exit 1; }
+}
+
+bench_mode() {
+    # bench_mode <label> [serve flags...]
+    label="$1"; shift
+    echo "-- $label --"
+    : >"$tmp/serve.log"
+    "$tmp/stencilmart" serve -model "$tmp/model.ckpt" -addr 127.0.0.1:0 -max-inflight 256 "$@" \
+        >"$tmp/serve.log" 2>&1 &
+    server_pid=$!
+    wait_for_addr
+    for c in 1 8 32 64; do
+        "$tmp/stencilmart" loadgen -url "$base" -clients "$c" -n 40 \
+            -label "$label" -out "$out" -fail-on-error
+    done
+    kill -TERM "$server_pid"
+    wait "$server_pid" || true
+    server_pid=""
+}
+
+bench_mode serial -batch-size 1
+bench_mode coalesced -batch-window 500us -batch-size 32
+
+echo "serve bench written to $out"

@@ -80,6 +80,29 @@ for field in '"oc"' '"params"' '"predicted_seconds"' '"advice"'; do
     }
 done
 
+echo "-- /modelz --"
+code="$(fetch /modelz "$tmp/modelz.json")"
+[ "$code" = "200" ] || { cat "$tmp/modelz.json"; echo "serve smoke: /modelz gave HTTP $code" >&2; exit 1; }
+grep -q '"current":"v1"' "$tmp/modelz.json" || {
+    cat "$tmp/modelz.json"; echo "serve smoke: /modelz does not list v1 as current" >&2; exit 1
+}
+
+echo "-- loadgen burst --"
+# A concurrent burst through the coalescing lane; -fail-on-error turns
+# any non-200 into a smoke failure.
+"$tmp/stencilmart" loadgen -url "$base" -clients 8 -n 5 -fail-on-error >"$tmp/loadgen.log" 2>&1 || {
+    cat "$tmp/loadgen.log"; echo "serve smoke: loadgen burst failed" >&2; exit 1
+}
+
+echo "-- /statsz quantiles --"
+code="$(fetch /statsz "$tmp/statsz.json")"
+[ "$code" = "200" ] || { cat "$tmp/statsz.json"; echo "serve smoke: /statsz gave HTTP $code" >&2; exit 1; }
+for field in '"p50_millis"' '"p99_millis"' '"p999_millis"' '"batches"'; do
+    grep -q "$field" "$tmp/statsz.json" || {
+        cat "$tmp/statsz.json"; echo "serve smoke: /statsz missing $field" >&2; exit 1
+    }
+done
+
 echo "-- shutdown --"
 kill -TERM "$server_pid"
 wait "$server_pid" || { echo "serve smoke: server exited non-zero on SIGTERM" >&2; exit 1; }
