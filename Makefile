@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels bench-trees bench-serve fuzz
+.PHONY: build test vet race check serve-smoke chaos-smoke bench bench-kernels bench-trees bench-lanes bench-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,11 @@ bench-kernels:
 
 bench-trees:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/ml/tree/
+
+# f64 reference vs compiled f32 lane, side by side: GEMM, tree
+# ensembles, and network forward passes on serving-sized batches.
+bench-lanes:
+	$(GO) test -run='^$$' -bench='BenchmarkLane' -benchmem ./internal/linalg/ ./internal/ml/tree/ ./internal/ml/nn/
 
 bench-serve:
 	sh scripts/serve_bench.sh

@@ -39,7 +39,9 @@ type LoadgenResult struct {
 // reports exact latency quantiles and throughput. With -out, the result
 // is appended to a JSON array file so successive runs (serial baseline
 // vs coalesced, rising concurrency) accumulate into one benchmark
-// record.
+// record. -distinct swaps the shape cycle for per-request unique
+// stencils so server-side dedup and the sim memo cache cannot collapse
+// the stream — the honest workload for comparing inference lanes.
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	url := fs.String("url", "http://127.0.0.1:8080", "base URL of a running 'stencilmart serve'")
@@ -47,6 +49,8 @@ func cmdLoadgen(args []string) error {
 	n := fs.Int("n", 50, "requests per client")
 	shapes := fs.String("shapes", "star2d1r,star2d2r,box2d1r,star3d1r,star3d2r,box3d1r",
 		"comma-separated classic stencil names to cycle through")
+	distinct := fs.Bool("distinct", false, "make every request a unique stencil (defeats server-side dedup and sim-cache reuse)")
+	lane := fs.String("lane", "", "route requests down this inference lane (f32, f64); empty = server default")
 	label := fs.String("label", "", "label recorded with the result")
 	out := fs.String("out", "", "append the result to this JSON array file")
 	failOnError := fs.Bool("fail-on-error", false, "exit nonzero if any request fails")
@@ -57,24 +61,38 @@ func cmdLoadgen(args []string) error {
 	if *clients < 1 || *n < 1 {
 		return fmt.Errorf("loadgen: -clients and -n must be positive")
 	}
+	if *lane != "" && *lane != "f32" && *lane != "f64" {
+		return fmt.Errorf("loadgen: unknown lane %q (f32, f64)", *lane)
+	}
 
 	// Pre-build every request body: shapes x GPUs, validated up front so
 	// a typo fails fast instead of as a thousand 400s.
 	var bodies []string
-	for _, name := range strings.Split(*shapes, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	if *distinct {
+		var err error
+		if bodies, err = distinctBodies(*clients * *n); err != nil {
+			return err
 		}
-		if _, err := stencil.ByName(name); err != nil {
-			return fmt.Errorf("loadgen: %w", err)
-		}
-		for _, arch := range gpu.Catalog() {
-			bodies = append(bodies, fmt.Sprintf(`{"stencil":%q,"gpu":%q}`, name, arch.Name))
+	} else {
+		for _, name := range strings.Split(*shapes, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := stencil.ByName(name); err != nil {
+				return fmt.Errorf("loadgen: %w", err)
+			}
+			for _, arch := range gpu.Catalog() {
+				bodies = append(bodies, fmt.Sprintf(`{"stencil":%q,"gpu":%q}`, name, arch.Name))
+			}
 		}
 	}
 	if len(bodies) == 0 {
 		return fmt.Errorf("loadgen: no request shapes")
+	}
+	predictURL := *url + "/predict"
+	if *lane != "" {
+		predictURL += "?lane=" + *lane
 	}
 
 	client := &http.Client{Timeout: *timeout}
@@ -94,7 +112,7 @@ func cmdLoadgen(args []string) error {
 				k := c**n + i
 				body := bodies[k%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(*url+"/predict", "application/json", strings.NewReader(body))
+				resp, err := client.Post(predictURL, "application/json", strings.NewReader(body))
 				if err == nil {
 					_, _ = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
@@ -161,6 +179,66 @@ func cmdLoadgen(args []string) error {
 		}
 	}
 	return nil
+}
+
+// distinctBodies builds one unique raw-offset request per slot: the
+// star2d1r base pattern plus the k-th lexicographic pair of extra
+// offsets from the order<=4 grid (76 candidates, C(76,2) = 2850
+// pairings), on a rotating catalog GPU. Every request carries a unique
+// name, so even past the pairing wrap the server's per-batch dedup key
+// (stencil identity x GPU) never matches two requests — the stream
+// stays full-width model work.
+func distinctBodies(total int) ([]string, error) {
+	base := []stencil.Point{{Dx: 1}, {Dx: -1}, {Dy: 1}, {Dy: -1}}
+	inBase := func(p stencil.Point) bool {
+		for _, b := range base {
+			if p == b {
+				return true
+			}
+		}
+		return false
+	}
+	var extras []stencil.Point
+	for dy := -stencil.MaxOrder; dy <= stencil.MaxOrder; dy++ {
+		for dx := -stencil.MaxOrder; dx <= stencil.MaxOrder; dx++ {
+			p := stencil.Point{Dx: dx, Dy: dy}
+			if p.IsCenter() || inBase(p) {
+				continue
+			}
+			extras = append(extras, p)
+		}
+	}
+	pairs := len(extras) * (len(extras) - 1) / 2
+	catalog := gpu.Catalog()
+	bodies := make([]string, total)
+	for k := 0; k < total; k++ {
+		// Decode the k-th (i, j) pair with i < j in lexicographic order.
+		i, rem := 0, k%pairs
+		for rem >= len(extras)-1-i {
+			rem -= len(extras) - 1 - i
+			i++
+		}
+		points := append(append([]stencil.Point{{}}, base...), extras[i], extras[i+1+rem])
+		name := fmt.Sprintf("d%05d", k)
+		if _, err := stencil.New(name, 2, points); err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		req := struct {
+			Name   string   `json:"name"`
+			Dims   int      `json:"dims"`
+			Points [][3]int `json:"points"`
+			GPU    string   `json:"gpu"`
+		}{Name: name, Dims: 2, GPU: catalog[k%len(catalog)].Name}
+		for _, p := range points {
+			req.Points = append(req.Points, [3]int{p.Dx, p.Dy, p.Dz})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[k] = string(body)
+	}
+	return bodies, nil
 }
 
 // appendResult appends one run to a JSON array file, creating it when

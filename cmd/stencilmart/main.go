@@ -10,8 +10,8 @@
 //	stencilmart train      -dataset dataset.json -out model.ckpt
 //	stencilmart predict    -dataset dataset.json -stencil star2d2r -gpu V100
 //	stencilmart predict    -model model.ckpt -stencil star2d2r -gpu V100
-//	stencilmart serve      -model model.ckpt -addr :8080 [-batch-window 500us -batch-size 32]
-//	stencilmart loadgen    -url http://127.0.0.1:8080 -clients 32 -n 50 [-out BENCH_serve.json]
+//	stencilmart serve      -model model.ckpt -addr :8080 [-batch-window 500us -batch-size 32 -lane f32]
+//	stencilmart loadgen    -url http://127.0.0.1:8080 -clients 32 -n 50 [-distinct -lane f32] [-out BENCH_serve.json]
 //	stencilmart rent       -dataset dataset.json -dims 2 [-cost]
 //	stencilmart simulate   -stencil box3d2r -gpu A100 -oc ST_RT_PR
 //	stencilmart experiment -id fig9 [-preset paper]
@@ -331,7 +331,12 @@ func cmdServe(args []string) error {
 	maxInFlight := fs.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /predict requests admitted before shedding with 503")
 	batchWindow := fs.Duration("batch-window", serve.DefaultBatchWindow, "how long a batch waits for more requests after its first (negative = no waiting)")
 	batchSize := fs.Int("batch-size", serve.DefaultBatchSize, "max requests coalesced into one model call (1 = serial baseline)")
+	laneName := fs.String("lane", "f64", "default inference lane (f32, f64); requests override with ?lane=")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lane, err := serve.ParseLane(*laneName)
+	if err != nil {
 		return err
 	}
 	fw, err := core.LoadFrameworkFile(*model)
@@ -343,6 +348,7 @@ func cmdServe(args []string) error {
 		MaxInFlight: *maxInFlight,
 		BatchWindow: *batchWindow,
 		BatchSize:   *batchSize,
+		Lane:        lane,
 	})
 	if err != nil {
 		return err

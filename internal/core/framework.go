@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"stencilmart/internal/gen"
 	"stencilmart/internal/gpu"
@@ -21,6 +22,13 @@ type Framework struct {
 	// Trained holds the deployed full-corpus models after TrainAll or
 	// LoadFramework; nil until then. See checkpoint.go.
 	Trained *Trained
+
+	// compiled caches the f32 inference lane built by CompiledF32 for the
+	// exact Trained set it was compiled from; TrainAll swapping Trained
+	// invalidates it by pointer identity. See compile.go.
+	compileMu   sync.Mutex
+	compiled    *CompiledTrained
+	compiledFor *Trained
 }
 
 // Build runs the data-collection half of the pipeline: generate the

@@ -124,14 +124,16 @@ type serveItem struct {
 	// copies the primary's outcome.
 	primary *serveItem
 
-	arch  gpu.Arch
-	cls   ml.Classifier
-	reg   *TrainedRegressor
-	class int
-	proba []float64
-	oc    opt.Opt
-	tuned tuner.Result
-	times []float64
+	arch gpu.Arch
+	cls  ml.Classifier
+	reg  *TrainedRegressor
+	// regF32 replaces reg when the item rides the f32 lane (servebatchf32.go).
+	regF32 *CompiledRegressorF32
+	class  int
+	proba  []float64
+	oc     opt.Opt
+	tuned  tuner.Result
+	times  []float64
 }
 
 func (it *serveItem) fail(err error) { it.out.Err = err }

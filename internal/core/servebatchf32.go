@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"stencilmart/internal/ml"
+)
+
+// ServePredictBatchF32 is ServePredictBatch on the float32 inference
+// lane: the same admit -> dedup -> classify -> tune -> regress -> rent
+// pipeline, but classification and regression score through the
+// compiled f32 models with every row and output buffer carved from the
+// caller's arena. The scoring path proper — row encoding into arena
+// scratch plus the compiled batch predictions — performs zero heap
+// allocations once the arena and compiled-layer scratch are warm; the
+// per-item probability and time vectors are deliberate heap copies
+// because outcomes outlive the arena's next Reset (the serving tier
+// marshals them after this call returns). Tuning is lane-independent
+// (simulator-bound, float64) and shared with the reference pipeline.
+//
+// A nil arena gets a private one, trading the reuse away for
+// convenience. Like the f64 lane, the method is not safe for concurrent
+// use on one framework; the serving layer serializes batch calls
+// through a single lane per arena.
+func (f *Framework) ServePredictBatchF32(reqs []ServeRequest, arena *ServeArena) []ServeOutcome {
+	outs := make([]ServeOutcome, len(reqs))
+	if len(reqs) == 0 {
+		return outs
+	}
+	tr, err := f.requireTrained()
+	if err != nil {
+		for i := range outs {
+			outs[i].Err = err
+		}
+		return outs
+	}
+	ct, err := f.CompiledF32()
+	if err != nil {
+		for i := range outs {
+			outs[i].Err = err
+		}
+		return outs
+	}
+	if arena == nil {
+		arena = NewServeArena()
+	}
+	arena.Reset()
+
+	items := f.admitServeItems(tr, reqs, outs)
+
+	// Duplicate collapse, identical to the f64 lane: dedup keys only on
+	// (GPU, stencil) identity, which both lanes share.
+	seen := make(map[string]*serveItem, len(items))
+	var primaries []*serveItem
+	var dups []*serveItem
+	for _, it := range items {
+		if it.out.Err != nil {
+			continue
+		}
+		k := serveKey(it.req)
+		if p, ok := seen[k]; ok {
+			it.primary = p
+			dups = append(dups, it)
+			continue
+		}
+		seen[k] = it
+		primaries = append(primaries, it)
+	}
+
+	f.classifyServeItemsF32(ct, primaries, arena)
+	f.tuneServeItems(primaries)
+	f.regressServeItemsF32(primaries, arena)
+
+	for _, it := range live(primaries) {
+		outs[it.idx] = ServeOutcome{Prediction: it.assemble(f)}
+	}
+	for _, it := range dups {
+		outs[it.idx] = outs[it.primary.idx]
+	}
+	return outs
+}
+
+// classifyServeItemsF32 mirrors classifyServeItems over the compiled
+// classifiers: items group per compiled (GPU, dims) model, rows encode
+// in arena float64 scratch (the reference encoder bit for bit) and
+// convert once into arena float32 rows, and the group scores through
+// one PredictProbaBatchF32 call into an arena output block. The
+// regressor resolves right after a group's probabilities land,
+// preserving the f64 lane's error precedence. A panicking batched call
+// falls back to scoring that group row by row.
+func (f *Framework) classifyServeItemsF32(ct *CompiledTrained, items []*serveItem, arena *ServeArena) {
+	type clsGroup struct {
+		cls   ml.ClassifierF32
+		items []*serveItem
+	}
+	groups := make(map[ml.ClassifierF32]*clsGroup)
+	var order []ml.ClassifierF32
+	for _, it := range live(items) {
+		cls, err := ct.classifierFor(it.req.GPU, it.req.Stencil.Dims)
+		if err != nil {
+			it.fail(err)
+			continue
+		}
+		g := groups[cls]
+		if g == nil {
+			g = &clsGroup{cls: cls}
+			groups[cls] = g
+			order = append(order, cls)
+		}
+		g.items = append(g.items, it)
+	}
+	for _, key := range order {
+		g := groups[key]
+		// One classifier serves one (GPU, dims) pair, so the group's row
+		// width is uniform.
+		width := classWidth(ct.ClassifierKind, g.items[0].req.Stencil.Dims)
+		classes := g.cls.Classes()
+		rows := arena.Rows(len(g.items))
+		scratch := arena.F64(width)
+		for i, it := range g.items {
+			row := arena.F32(width)
+			classRowInto(ct.ClassifierKind, it.req.Stencil, scratch)
+			for j, v := range scratch {
+				row[j] = float32(v)
+			}
+			rows[i] = row
+		}
+		out := arena.F32(len(g.items) * classes)
+		if err := safeProbaBatchF32(g.cls, rows, out); err != nil {
+			// Batched path poisoned: retry row by row so only the bad
+			// request fails.
+			for i, it := range g.items {
+				rowOut := out[i*classes : (i+1)*classes]
+				if rowErr := safeProbaBatchF32(g.cls, rows[i:i+1], rowOut); rowErr != nil {
+					it.fail(rowErr)
+					continue
+				}
+				it.class, it.proba = ml.ArgMaxF32(rowOut), probaCopy(rowOut)
+			}
+		} else {
+			for i, it := range g.items {
+				rowOut := out[i*classes : (i+1)*classes]
+				it.class, it.proba = ml.ArgMaxF32(rowOut), probaCopy(rowOut)
+			}
+		}
+		for _, it := range g.items {
+			if it.out.Err != nil {
+				continue
+			}
+			reg, ok := ct.regressors[it.req.Stencil.Dims]
+			if !ok {
+				it.fail(fmt.Errorf("core: no trained %d-D regressor", it.req.Stencil.Dims))
+				continue
+			}
+			it.regF32 = reg
+		}
+	}
+}
+
+// probaCopy lifts an arena probability row to a float64 heap copy that
+// survives the arena's next Reset.
+func probaCopy(p []float32) []float64 {
+	out := make([]float64, len(p))
+	for k, v := range p {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+func safeProbaBatchF32(cls ml.ClassifierF32, rows [][]float32, out []float32) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: batched f32 classify panicked: %v", v)
+		}
+	}()
+	cls.PredictProbaBatchF32(rows, out)
+	return nil
+}
+
+// regressServeItemsF32 mirrors regressServeItems over the compiled
+// regressors: each dims group's items contribute len(archs) arena rows
+// (encoded and scaled in float64 scratch, converted once), the group
+// scores through one PredictValueBatchF32 call, and each item's slice
+// inverts to float64 seconds on the heap. A panicking batched call
+// falls back to per-item scoring over the already-encoded rows.
+func (f *Framework) regressServeItemsF32(items []*serveItem, arena *ServeArena) {
+	archs := f.Dataset.Archs
+	type regGroup struct {
+		reg   *CompiledRegressorF32
+		items []*serveItem
+	}
+	groups := make(map[*CompiledRegressorF32]*regGroup)
+	var order []*CompiledRegressorF32
+	for _, it := range live(items) {
+		g := groups[it.regF32]
+		if g == nil {
+			g = &regGroup{reg: it.regF32}
+			groups[it.regF32] = g
+			order = append(order, it.regF32)
+		}
+		g.items = append(g.items, it)
+	}
+	for _, key := range order {
+		g := groups[key]
+		// One compiled regressor serves one dimensionality, so the
+		// group's row width is uniform.
+		width := regWidthFor(g.reg.kind, g.items[0].req.Stencil.Dims)
+		rows := arena.Rows(len(g.items) * len(archs))
+		scratch := arena.F64(width)
+		for i, it := range g.items {
+			for ai, arch := range archs {
+				row := arena.F32(width)
+				g.reg.encodeRowF32(it.req.Stencil, it.oc, it.tuned.Params, arch, scratch, row)
+				rows[i*len(archs)+ai] = row
+			}
+		}
+		out := arena.F32(len(rows))
+		if err := safeValueBatchF32(g.reg.model, rows, out); err != nil {
+			for i, it := range g.items {
+				lo, hi := i*len(archs), (i+1)*len(archs)
+				if rowErr := safeValueBatchF32(g.reg.model, rows[lo:hi], out[lo:hi]); rowErr != nil {
+					it.fail(rowErr)
+					continue
+				}
+				it.times = g.reg.invertSecondsF32(out[lo:hi])
+			}
+			continue
+		}
+		for i, it := range g.items {
+			it.times = g.reg.invertSecondsF32(out[i*len(archs) : (i+1)*len(archs)])
+		}
+	}
+}
+
+func safeValueBatchF32(reg ml.RegressorF32, rows [][]float32, out []float32) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: batched f32 regression panicked: %v", v)
+		}
+	}()
+	reg.PredictValueBatchF32(rows, out)
+	return nil
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"stencilmart/internal/stencil"
+	"stencilmart/internal/testutil"
+)
+
+// laneTieEps is the documented tie-epsilon of the f32 lane's decision
+// contract: wherever the float64 lane's top-2 probability gap is at
+// least this wide, the f32 lane must pick the same class; inside the
+// band either decision is acceptable (the reference lane itself is one
+// rounding away from flipping).
+const laneTieEps = 1e-6
+
+// laneRelTol is the documented relative tolerance on predicted seconds
+// when both lanes agree on the class (and therefore tuned the same OC).
+const laneRelTol = 5e-3
+
+// laneProbaTol bounds per-class probability drift between the lanes.
+const laneProbaTol = 2e-3
+
+// lanesFramework shares the checkpoint tests' smoke framework.
+func lanesFramework(tb testing.TB) *Framework {
+	tb.Helper()
+	ckptOnce.Do(func() {
+		ckptInst, ckptErr = Build(context.Background(), SmokeConfig())
+	})
+	if ckptErr != nil {
+		tb.Fatal(ckptErr)
+	}
+	return ckptInst
+}
+
+// top2Gap returns the difference between the largest and second-largest
+// probabilities.
+func top2Gap(p []float64) float64 {
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, v := range p {
+		switch {
+		case v > best:
+			best, second = v, best
+		case v > second:
+			second = v
+		}
+	}
+	return best - second
+}
+
+// sameClassOrder reports whether both probability vectors sort their
+// classes identically — the condition under which tuning (which walks
+// classes in descending-probability order) behaves identically.
+func sameClassOrder(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	oa, ob := classOrder(a), classOrder(b)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertLaneOutcome checks one f32 outcome against its f64 twin under
+// the lane contract: identical errors, identical decisions away from
+// ties, close probabilities, and — when the tuned OC is forced to agree
+// — bitwise-equal tuning and predicted seconds within laneRelTol.
+func assertLaneOutcome(t *testing.T, label string, ref, got ServeOutcome) {
+	t.Helper()
+	if (ref.Err == nil) != (got.Err == nil) {
+		t.Fatalf("%s: f64 err %v, f32 err %v", label, ref.Err, got.Err)
+	}
+	if ref.Err != nil {
+		if ref.Err.Error() != got.Err.Error() {
+			t.Fatalf("%s: error drift:\nf64: %v\nf32: %v", label, ref.Err, got.Err)
+		}
+		return
+	}
+	rp, gp := ref.Prediction, got.Prediction
+	if rp.Stencil != gp.Stencil || rp.GPU != gp.GPU {
+		t.Fatalf("%s: identity drift: %s/%s vs %s/%s", label, rp.Stencil, rp.GPU, gp.Stencil, gp.GPU)
+	}
+	if len(rp.Proba) != len(gp.Proba) {
+		t.Fatalf("%s: proba width %d vs %d", label, len(rp.Proba), len(gp.Proba))
+	}
+	for k := range rp.Proba {
+		if d := math.Abs(rp.Proba[k] - gp.Proba[k]); d > laneProbaTol {
+			t.Fatalf("%s: class %d proba f64 %g vs f32 %g", label, k, rp.Proba[k], gp.Proba[k])
+		}
+	}
+	if top2Gap(rp.Proba) >= laneTieEps && rp.Class != gp.Class {
+		t.Fatalf("%s: decision drift: f64 class %d (gap %g) vs f32 class %d",
+			label, rp.Class, top2Gap(rp.Proba), gp.Class)
+	}
+	if !sameClassOrder(rp.Proba, gp.Proba) {
+		return // sub-leading tie: tuning may legitimately pick another rep OC
+	}
+	// Same class order means identical tuning: the tuner is a
+	// deterministic float64 function of (request, class order).
+	if rp.OC != gp.OC {
+		t.Fatalf("%s: OC drift: %s vs %s", label, rp.OC, gp.OC)
+	}
+	if rp.Params != gp.Params {
+		t.Fatalf("%s: params drift: %+v vs %+v", label, rp.Params, gp.Params)
+	}
+	if rp.TunedSeconds != gp.TunedSeconds {
+		t.Fatalf("%s: tuned-seconds drift: %g vs %g", label, rp.TunedSeconds, gp.TunedSeconds)
+	}
+	for i := range rp.PredictedSeconds {
+		r, g := rp.PredictedSeconds[i], gp.PredictedSeconds[i]
+		if math.Abs(g-r) > laneRelTol*math.Max(math.Abs(r), 1e-12) {
+			t.Fatalf("%s: %s predicted %g (f64) vs %g (f32), rel %g",
+				label, rp.ArchNames[i], r, g, math.Abs(g-r)/math.Abs(r))
+		}
+	}
+}
+
+// TestServeLaneDifferential is the end-to-end differential contract of
+// the f32 serving lane across every compilable mechanism pair: on the
+// full probe-x-GPU corpus (plus duplicate and failing requests), class
+// decisions match the reference lane away from documented ties, errors
+// are identical, and predicted seconds agree within laneRelTol.
+func TestServeLaneDifferential(t *testing.T) {
+	fw := lanesFramework(t)
+	pairs := []struct {
+		ck ClassifierKind
+		rk RegressorKind
+	}{
+		{ClassGBDT, RegGB},
+		{ClassFcNet, RegMLP},
+		{ClassConvNet, RegConvMLP},
+	}
+	for _, pair := range pairs {
+		t.Run(pair.ck.String()+"_"+pair.rk.String(), func(t *testing.T) {
+			if err := fw.TrainAll(context.Background(), pair.ck, pair.rk); err != nil {
+				t.Fatal(err)
+			}
+			reqs := batchRequests(fw)
+			refs := fw.ServePredictBatch(reqs)
+			arena := NewServeArena()
+			outs := fw.ServePredictBatchF32(reqs, arena)
+			if len(outs) != len(reqs) {
+				t.Fatalf("%d outcomes for %d requests", len(outs), len(reqs))
+			}
+			for i, req := range reqs {
+				assertLaneOutcome(t, req.Stencil.Name+" on "+req.GPU, refs[i], outs[i])
+			}
+		})
+	}
+}
+
+// TestServeLaneF32Stable pins bitwise reproducibility of the f32 lane:
+// rerunning the same batch — with a reused arena, a fresh arena, and
+// under different GOMAXPROCS — must produce byte-identical predictions.
+// The f32 kernels are serial and tuning is seeded per request, so
+// scheduler parallelism has nothing to perturb.
+func TestServeLaneF32Stable(t *testing.T) {
+	fw := lanesFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	reqs := batchRequests(fw)
+	arena := NewServeArena()
+	marshal := func(outs []ServeOutcome) []byte {
+		var buf []byte
+		for _, o := range outs {
+			if o.Err != nil {
+				buf = append(buf, o.Err.Error()...)
+				continue
+			}
+			j, err := json.Marshal(o.Prediction)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = append(buf, j...)
+		}
+		return buf
+	}
+	var ref []byte
+	testutil.WithGOMAXPROCS(t, 1, func() {
+		ref = marshal(fw.ServePredictBatchF32(reqs, arena))
+	})
+	testutil.WithGOMAXPROCS(t, 1, func() {
+		testutil.AssertSameBytes(t, "warm arena rerun", ref, marshal(fw.ServePredictBatchF32(reqs, arena)))
+	})
+	testutil.WithGOMAXPROCS(t, 4, func() {
+		testutil.AssertSameBytes(t, "GOMAXPROCS=4", ref, marshal(fw.ServePredictBatchF32(reqs, nil)))
+	})
+}
+
+// TestServeLaneF32DedupAndUntrained mirrors the f64 edge cases: a
+// duplicate request copies its primary's outcome, empty batches return
+// empty, and an untrained framework fails every slot.
+func TestServeLaneF32DedupAndUntrained(t *testing.T) {
+	fw := lanesFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	probe := stencil.Star(2, 2)
+	name := fw.Dataset.Archs[0].Name
+	reqs := []ServeRequest{
+		{GPU: name, Stencil: probe},
+		{GPU: name, Stencil: probe},
+	}
+	outs := fw.ServePredictBatchF32(reqs, nil)
+	if outs[0].Err != nil || outs[1].Err != nil {
+		t.Fatalf("dedup batch failed: %v / %v", outs[0].Err, outs[1].Err)
+	}
+	if outs[0].Prediction != outs[1].Prediction {
+		t.Error("duplicate should share its primary's prediction")
+	}
+	if outs := fw.ServePredictBatchF32(nil, nil); len(outs) != 0 {
+		t.Fatalf("nil batch gave %d outcomes", len(outs))
+	}
+	bare := &Framework{}
+	bad := bare.ServePredictBatchF32(reqs, nil)
+	if bad[0].Err == nil || bad[1].Err == nil {
+		t.Error("untrained framework must fail every slot")
+	}
+}
+
+// TestCompiledF32CacheInvalidation pins the publish-time compile
+// contract: the compiled lane is cached per Trained set and rebuilt only
+// when TrainAll swaps in a new one.
+func TestCompiledF32CacheInvalidation(t *testing.T) {
+	fw := lanesFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fw.CompiledF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fw.CompiledF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second CompiledF32 should return the cached lane")
+	}
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	c, err := fw.CompiledF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("retraining must invalidate the compiled cache")
+	}
+}
+
+// TestAllocGateCoreScoringF32 pins the zero-allocation contract of the
+// serving lane's scoring path: with a warm arena and compiled models,
+// encoding a request's classifier and regressor rows and scoring them
+// performs zero heap allocations. (The outcome assembly outside this
+// boundary intentionally heap-copies probabilities and times — see
+// DESIGN.md §11.)
+func TestAllocGateCoreScoringF32(t *testing.T) {
+	fw := lanesFramework(t)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := fw.CompiledF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := stencil.Star(2, 2)
+	name := fw.Dataset.Archs[0].Name
+	_, arch, err := fw.ArchByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := ct.classifierFor(name, probe.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, ok := ct.regressors[probe.Dims]
+	if !ok {
+		t.Fatal("no compiled 2-D regressor")
+	}
+	proba := make([]float64, fw.Grouping.NumClasses())
+	proba[0] = 1
+	oc, res, err := fw.tuneForClass(name, probe, arch, proba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := fw.Dataset.Archs
+	arena := NewServeArena()
+	cw := classWidth(ct.ClassifierKind, probe.Dims)
+	rw := regWidthFor(ct.RegressorKind, probe.Dims)
+	scoring := func() {
+		arena.Reset()
+		scratch := arena.F64(cw)
+		rows := arena.Rows(1)
+		row := arena.F32(cw)
+		classRowInto(ct.ClassifierKind, probe, scratch)
+		for j, v := range scratch {
+			row[j] = float32(v)
+		}
+		rows[0] = row
+		pout := arena.F32(cls.Classes())
+		cls.PredictProbaBatchF32(rows, pout)
+
+		rscratch := arena.F64(rw)
+		rrows := arena.Rows(len(archs))
+		for ai, a := range archs {
+			rr := arena.F32(rw)
+			reg.encodeRowF32(probe, oc, res.Params, a, rscratch, rr)
+			rrows[ai] = rr
+		}
+		vout := arena.F32(len(rrows))
+		reg.model.PredictValueBatchF32(rrows, vout)
+	}
+	scoring() // warm the arena slabs and any compiled-layer scratch
+	if n := testing.AllocsPerRun(20, scoring); n != 0 {
+		t.Errorf("warm f32 scoring path allocs/op = %g, want 0", n)
+	}
+}
+
+// FuzzLaneDifferential feeds arbitrary stencils through both lanes and
+// holds the differential contract on whatever survives admission: the
+// checked-in seed corpus covers both dimensionalities and every catalog
+// GPU index class.
+func FuzzLaneDifferential(f *testing.F) {
+	fw := lanesFramework(f)
+	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint8(0), false, []byte{0x01, 0x10, 0x30, 0x62})
+	f.Add(uint8(1), true, []byte{0x05, 0x21, 0x13, 0x44, 0x36, 0x57})
+	f.Add(uint8(3), false, []byte{})
+	arena := NewServeArena()
+	f.Fuzz(func(t *testing.T, gpuIdx uint8, is3D bool, data []byte) {
+		archs := fw.Dataset.Archs
+		name := archs[int(gpuIdx)%len(archs)].Name
+		dims := 2
+		if is3D {
+			dims = 3
+		}
+		if len(data) > 48 {
+			data = data[:48]
+		}
+		var pts []stencil.Point
+		for i := 0; i+1 < len(data); i += 2 {
+			p := stencil.Point{
+				Dx: int(data[i]%9) - 4,
+				Dy: int(data[i+1]%9) - 4,
+			}
+			if is3D && i+2 < len(data) {
+				p.Dz = int(data[i+2]%9) - 4
+			}
+			pts = append(pts, p)
+		}
+		s, err := stencil.New("fuzz", dims, pts)
+		if err != nil {
+			t.Skip() // not an admissible stencil; both lanes reject at Validate
+		}
+		req := ServeRequest{GPU: name, Stencil: s}
+		ref := fw.ServePredictBatch([]ServeRequest{req})[0]
+		got := fw.ServePredictBatchF32([]ServeRequest{req}, arena)[0]
+		assertLaneOutcome(t, s.String(), ref, got)
+	})
+}

@@ -57,7 +57,21 @@ var FeatureNames = []string{"memGB", "memBWGBs", "sms", "tflops"}
 // Features returns the hardware characteristics attached to regression
 // inputs (Sec. IV-E): memory capacity and bandwidth, SM count, peak FLOPS.
 func (a Arch) Features() []float64 {
-	return []float64{a.MemGB, a.MemBWGBs, float64(a.SMs), a.TFLOPS}
+	out := make([]float64, len(FeatureNames))
+	a.FeaturesInto(out)
+	return out
+}
+
+// FeaturesInto writes Features into dst (len(FeatureNames)) without
+// allocating, for callers encoding into arena scratch.
+func (a Arch) FeaturesInto(dst []float64) {
+	if len(dst) != len(FeatureNames) {
+		panic(fmt.Sprintf("gpu: features dst %d, want %d", len(dst), len(FeatureNames)))
+	}
+	dst[0] = a.MemGB
+	dst[1] = a.MemBWGBs
+	dst[2] = float64(a.SMs)
+	dst[3] = a.TFLOPS
 }
 
 // Catalog returns the four GPUs of Table III in the paper's order.

@@ -1,0 +1,143 @@
+package linalg
+
+import "fmt"
+
+// MatrixF32 is the float32 mirror of Matrix: a dense rows x cols matrix
+// backed by one flat row-major slice. It exists for the inference-only
+// f32 lane — training stays on float64 — so the kernels below are
+// forward-pass only, serial, and allocation-free: inference batches are
+// small (a serving flush is tens of rows), a single fixed accumulation
+// order keeps the lane bitwise reproducible at any GOMAXPROCS without
+// coordinating tiles, and reusing caller-owned buffers keeps the warm
+// scoring path at zero heap allocations.
+type MatrixF32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewF32 allocates a zeroed rows x cols float32 matrix.
+func NewF32(rows, cols int) *MatrixF32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative shape %dx%d", rows, cols))
+	}
+	return &MatrixF32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// ResizeF32 returns m reshaped to rows x cols, reusing its backing slice
+// when capacity allows; m may be nil. The returned contents are
+// unspecified — callers overwrite or Zero them.
+func ResizeF32(m *MatrixF32, rows, cols int) *MatrixF32 {
+	n := rows * cols
+	if m == nil {
+		return NewF32(rows, cols)
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Row returns the i-th row as a subslice of the backing array.
+func (m *MatrixF32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Zero clears every element.
+func (m *MatrixF32) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// GemmF32 computes c = a·b for a (m x k), b (k x n), c (m x n) with the
+// same k-panelled, zero-skipping, ascending-k accumulation the float64
+// Gemm uses — the only difference is the element type, so the f32 lane's
+// rounding is exactly "float64 algorithm evaluated in float32".
+func GemmF32(c, a, b *MatrixF32) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: gemm shape (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < c.Rows; i++ {
+		ci := c.Row(i)
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	for k0 := 0; k0 < a.Cols; k0 += kBlock {
+		k1 := k0 + kBlock
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for i := 0; i < c.Rows; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for k := k0; k < k1; k++ {
+				aik := ai[k]
+				if aik == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j, v := range bk {
+					ci[j] += aik * v
+				}
+			}
+		}
+	}
+}
+
+// GemmNTF32 computes c = a·bᵀ for a (m x k), b (n x k), c (m x n): every
+// output element is a dot product of two contiguous rows, accumulated in
+// ascending k order.
+func GemmNTF32(c, a, b *MatrixF32) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: gemmNT shape (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < c.Rows; i++ {
+		ci := c.Row(i)
+		ai := a.Row(i)
+		for j := range ci {
+			bj := b.Row(j)
+			var s float32
+			for k, v := range ai {
+				s += v * bj[k]
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// Im2colF32 writes one sample's patch matrix into rows
+// [rowOff, rowOff+OutSpatial) of col, exactly like Im2col but over
+// float32 data.
+func (s ConvShape) Im2colF32(x []float32, col *MatrixF32, rowOff int) {
+	if len(x) != s.InLen() {
+		panic(fmt.Sprintf("linalg: im2col input %d, want %d", len(x), s.InLen()))
+	}
+	if col.Cols != s.KernelLen() {
+		panic(fmt.Sprintf("linalg: im2col buffer %d columns, want %d", col.Cols, s.KernelLen()))
+	}
+	od, oh, ow := s.OutDims()
+	m := rowOff
+	for z := 0; z < od; z++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				dst := col.Row(m)
+				m++
+				k := 0
+				for ic := 0; ic < s.InC; ic++ {
+					for kz := 0; kz < s.KD; kz++ {
+						for ky := 0; ky < s.KH; ky++ {
+							src := ((ic*s.D+z+kz)*s.H+y+ky)*s.W + xx
+							copy(dst[k:k+s.KW], x[src:src+s.KW])
+							k += s.KW
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrixF32(rows, cols int, rng *rand.Rand) *MatrixF32 {
+	m := NewF32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+		if rng.Intn(5) == 0 {
+			m.Data[i] = 0 // exercise the zero-skip path
+		}
+	}
+	return m
+}
+
+// naiveGemmF32 is the textbook triple loop in float32, accumulating in
+// the kernels' ascending-k order so exact equality is checkable.
+func naiveGemmF32(a, b *MatrixF32) *MatrixF32 {
+	c := NewF32(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.Data[i*a.Cols+k] * b.Data[k*b.Cols+j]
+			}
+			c.Data[i*c.Cols+j] = s
+		}
+	}
+	return c
+}
+
+func maxAbsDiffF32(a, b *MatrixF32) float64 {
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i] - b.Data[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestGemmF32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Shapes straddle the kBlock boundary and hit degenerate sizes.
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 5, 2}, {31, 7, 33}, {32, 300, 17}, {70, 257, 40}} {
+		a := randomMatrixF32(sh[0], sh[1], rng)
+		b := randomMatrixF32(sh[1], sh[2], rng)
+		c := NewF32(sh[0], sh[2])
+		// Pre-fill c with garbage: GemmF32 overwrites.
+		for i := range c.Data {
+			c.Data[i] = 99
+		}
+		GemmF32(c, a, b)
+		want := naiveGemmF32(a, b)
+		// Both sides accumulate in ascending-k float32 order, so the
+		// kernel's only freedom is the kBlock panelling — still the same
+		// addition sequence per output element.
+		if d := maxAbsDiffF32(c, want); d != 0 {
+			t.Errorf("GemmF32 %v: max diff %g", sh, d)
+		}
+	}
+}
+
+func TestGemmNTF32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sh := range [][3]int{{1, 1, 1}, {5, 3, 4}, {33, 40, 31}, {64, 257, 9}} {
+		a := randomMatrixF32(sh[0], sh[1], rng)
+		bt := randomMatrixF32(sh[2], sh[1], rng) // b transposed: (n x k)
+		c := NewF32(sh[0], sh[2])
+		GemmNTF32(c, a, bt)
+		b := NewF32(sh[1], sh[2])
+		for i := 0; i < sh[2]; i++ {
+			for k := 0; k < sh[1]; k++ {
+				b.Data[k*sh[2]+i] = bt.Data[i*sh[1]+k]
+			}
+		}
+		if d := maxAbsDiffF32(c, naiveGemmF32(a, b)); d != 0 {
+			t.Errorf("GemmNTF32 %v: max diff %g", sh, d)
+		}
+	}
+}
+
+// TestIm2colF32MatchesF64 lowers the same input through both lanes: the
+// f32 column matrix must equal the f64 one element for element (inputs
+// are exactly representable, so the comparison is exact).
+func TestIm2colF32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range []ConvShape{
+		{InC: 1, D: 1, H: 9, W: 9, KD: 1, KH: 3, KW: 3},
+		{InC: 4, D: 1, H: 7, W: 7, KD: 1, KH: 3, KW: 3},
+		{InC: 2, D: 5, H: 5, W: 5, KD: 3, KH: 3, KW: 3},
+	} {
+		if err := shape.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		x64 := make([]float64, shape.InLen())
+		x32 := make([]float32, shape.InLen())
+		for i := range x64 {
+			v := float64(rng.Intn(64)) / 8 // exactly representable in f32
+			x64[i] = v
+			x32[i] = float32(v)
+		}
+		m := shape.OutSpatial()
+		col64 := New(m, shape.KernelLen())
+		col32 := NewF32(m, shape.KernelLen())
+		shape.Im2col(x64, col64, 0)
+		shape.Im2colF32(x32, col32, 0)
+		for i := range col64.Data {
+			if float64(col32.Data[i]) != col64.Data[i] {
+				t.Fatalf("shape %+v: col[%d] f32 %g vs f64 %g", shape, i, col32.Data[i], col64.Data[i])
+			}
+		}
+	}
+}
+
+func TestResizeF32Reuse(t *testing.T) {
+	m := NewF32(4, 8)
+	data := &m.Data[0]
+	m2 := ResizeF32(m, 2, 6)
+	if m2 != m || &m2.Data[0] != data {
+		t.Error("ResizeF32 should reuse capacity for a smaller shape")
+	}
+	if m2.Rows != 2 || m2.Cols != 6 || len(m2.Data) != 12 {
+		t.Errorf("ResizeF32 shape = %dx%d len %d", m2.Rows, m2.Cols, len(m2.Data))
+	}
+	m3 := ResizeF32(m2, 10, 10)
+	if len(m3.Data) != 100 {
+		t.Errorf("ResizeF32 grow len = %d", len(m3.Data))
+	}
+	var nilM *MatrixF32
+	if m4 := ResizeF32(nilM, 3, 3); m4 == nil || len(m4.Data) != 9 {
+		t.Error("ResizeF32(nil) should allocate")
+	}
+}
+
+// TestAllocGateLinalgF32 pins the zero-allocation contract of the f32
+// kernels: once output buffers exist, GemmF32 / GemmNTF32 / Im2colF32
+// must not touch the heap.
+func TestAllocGateLinalgF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randomMatrixF32(16, 300, rng)
+	b := randomMatrixF32(300, 24, rng)
+	bt := randomMatrixF32(24, 300, rng)
+	c := NewF32(16, 24)
+	if n := testing.AllocsPerRun(20, func() { GemmF32(c, a, b) }); n != 0 {
+		t.Errorf("GemmF32 allocs/op = %g, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { GemmNTF32(c, a, bt) }); n != 0 {
+		t.Errorf("GemmNTF32 allocs/op = %g, want 0", n)
+	}
+	shape := ConvShape{InC: 1, D: 1, H: 9, W: 9, KD: 1, KH: 3, KW: 3}
+	x := make([]float32, shape.InLen())
+	col := NewF32(shape.OutSpatial(), shape.KernelLen())
+	if n := testing.AllocsPerRun(20, func() { shape.Im2colF32(x, col, 0) }); n != 0 {
+		t.Errorf("Im2colF32 allocs/op = %g, want 0", n)
+	}
+}
+
+// BenchmarkLaneGemm compares the f64 serving-shape GEMM against the f32
+// lane on the dense shapes the compiled networks hit (small batch, wide
+// k) — the `make bench-lanes` microbenchmark pair.
+func BenchmarkLaneGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	const m, k, n = 32, 729, 64
+	a64 := randomMatrix(m, k, rng)
+	b64 := randomMatrix(k, n, rng)
+	c64 := New(m, n)
+	b.Run("f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Gemm(c64, a64, b64, 1)
+		}
+	})
+	a32 := randomMatrixF32(m, k, rng)
+	b32 := randomMatrixF32(k, n, rng)
+	c32 := NewF32(m, n)
+	b.Run("f32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GemmF32(c32, a32, b32)
+		}
+	})
+}

@@ -41,6 +41,37 @@ type BatchRegressor interface {
 	PredictValueBatch(rows [][]float64) []float64
 }
 
+// ClassifierF32 is the inference-only float32 lane of a classifier: a
+// compiled, forward-only model scoring arena-backed rows into a
+// caller-provided flat output, allocating nothing once warm. Training
+// stays on the float64 Classifier; compiled models are built from
+// trained checkpoints (tree ensemble quantization, nn weight snapshots).
+type ClassifierF32 interface {
+	// Classes returns the number of classes scored per row.
+	Classes() int
+	// PredictProbaBatchF32 writes per-class probabilities for every row
+	// into out, flat row-major (len(rows) * Classes()).
+	PredictProbaBatchF32(rows [][]float32, out []float32)
+}
+
+// RegressorF32 is the inference-only float32 lane of a regressor.
+type RegressorF32 interface {
+	// PredictValueBatchF32 writes one prediction per row into out
+	// (len(rows)).
+	PredictValueBatchF32(rows [][]float32, out []float32)
+}
+
+// ArgMaxF32 is ArgMax over a float32 probability row (first wins ties).
+func ArgMaxF32(p []float32) int {
+	best := 0
+	for k := range p {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	return best
+}
+
 // PredictProbaAll scores every row, using the batched path when the
 // classifier provides one.
 func PredictProbaAll(c Classifier, rows [][]float64) [][]float64 {

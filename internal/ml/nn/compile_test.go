@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"stencilmart/internal/tensor"
+)
+
+func rowsToF32(rows [][]float64) [][]float32 {
+	out := make([][]float32, len(rows))
+	for i, r := range rows {
+		f := make([]float32, len(r))
+		for j, v := range r {
+			f[j] = float32(v)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// TestCompiledClassifierMatchesF64 holds the differential contract for
+// every classifier architecture the framework trains: decisions
+// identical away from f64 decision ties, probabilities close
+// everywhere. The ConvNet case covers conv + two-branch-free stacks;
+// FcNet covers the pure dense stack.
+func TestCompiledClassifierMatchesF64(t *testing.T) {
+	const classes = 4
+	cfg := TrainConfig{Epochs: 4, Batch: 16, LR: 2e-3, Seed: 1}
+
+	build := map[string]func() (*Classifier, [][]float64){
+		"convnet2d": func() (*Classifier, [][]float64) {
+			x, y := benchClassData(48, tensor.Side*tensor.Side, classes, 31)
+			cls, err := NewConvNet(2, classes, cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cls.FitClassifier(x, y, classes); err != nil {
+				t.Fatal(err)
+			}
+			return cls, x
+		},
+		"fcnet": func() (*Classifier, [][]float64) {
+			width := tensor.Side*tensor.Side + tensor.NumFeatures
+			x, y := benchClassData(48, width, classes, 32)
+			cls, err := NewFcNet(width, classes, 2, 32, cfg, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cls.FitClassifier(x, y, classes); err != nil {
+				t.Fatal(err)
+			}
+			return cls, x
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			cls, x := mk()
+			c, err := cls.CompileF32()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Classes() != classes {
+				t.Fatalf("compiled classes = %d, want %d", c.Classes(), classes)
+			}
+			want := cls.PredictProbaBatch(x)
+			rows := rowsToF32(x)
+			out := make([]float32, len(rows)*classes)
+			c.PredictProbaBatchF32(rows, out)
+			const tieEps = 1e-6
+			for i, p64 := range want {
+				p32 := out[i*classes : (i+1)*classes]
+				best, gap := 0, math.Inf(1)
+				for k := range p64 {
+					if p64[k] > p64[best] {
+						best = k
+					}
+					if d := math.Abs(float64(p32[k]) - p64[k]); d > 2e-3 {
+						t.Fatalf("row %d class %d: f32 proba %g vs f64 %g", i, k, p32[k], p64[k])
+					}
+				}
+				for k := range p64 {
+					if k != best && p64[best]-p64[k] < gap {
+						gap = p64[best] - p64[k]
+					}
+				}
+				if gap < tieEps {
+					continue
+				}
+				got := 0
+				for k := range p32 {
+					if p32[k] > p32[got] {
+						got = k
+					}
+				}
+				if got != best {
+					t.Fatalf("row %d: f32 decision %d vs f64 %d (gap %g)", i, got, best, gap)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRegressorMatchesF64 covers the regression architectures:
+// MLP (dense-only) and ConvMLP (two-branch conv + dense).
+func TestCompiledRegressorMatchesF64(t *testing.T) {
+	cfg := TrainConfig{Epochs: 3, Batch: 32, LR: 1e-3, Seed: 1}
+
+	build := map[string]func() (*Regressor, [][]float64){
+		"mlp": func() (*Regressor, [][]float64) {
+			x, y := benchRegData(64, 40, 41)
+			reg, err := NewMLP(40, 3, 32, cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.FitRegressor(x, y); err != nil {
+				t.Fatal(err)
+			}
+			return reg, x
+		},
+		"convmlp2d": func() (*Regressor, [][]float64) {
+			const featDim = 28
+			x, y := benchRegData(48, tensor.Side*tensor.Side+featDim, 42)
+			reg, err := NewConvMLP(2, featDim, cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.FitRegressor(x, y); err != nil {
+				t.Fatal(err)
+			}
+			return reg, x
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			reg, x := mk()
+			c, err := reg.CompileF32()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reg.PredictValueBatch(x)
+			rows := rowsToF32(x)
+			out := make([]float32, len(rows))
+			c.PredictValueBatchF32(rows, out)
+			for i := range want {
+				diff := math.Abs(float64(out[i]) - want[i])
+				if diff > 5e-3*math.Max(1, math.Abs(want[i])) {
+					t.Fatalf("row %d: f32 %g vs f64 %g (diff %g)", i, out[i], want[i], diff)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledBatchInvariance pins row independence of the compiled
+// forward: a row scores bitwise the same alone and inside a batch (the
+// property the serving lane's dedup and GOMAXPROCS stability rely on).
+func TestCompiledBatchInvariance(t *testing.T) {
+	const classes = 4
+	x, y := benchClassData(24, tensor.Side*tensor.Side, classes, 33)
+	cls, err := NewConvNet(2, classes, TrainConfig{Epochs: 2, Batch: 8, LR: 2e-3, Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.FitClassifier(x, y, classes); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cls.CompileF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsToF32(x)
+	batch := make([]float32, len(rows)*classes)
+	c.PredictProbaBatchF32(rows, batch)
+	single := make([]float32, classes)
+	for i := range rows {
+		c.PredictProbaBatchF32(rows[i:i+1], single)
+		for k := range single {
+			if single[k] != batch[i*classes+k] {
+				t.Fatalf("row %d class %d: alone %g vs batched %g", i, k, single[k], batch[i*classes+k])
+			}
+		}
+	}
+}
+
+// TestAllocGateNNF32 pins the zero-allocation contract of the compiled
+// forward passes once layer scratch is warm.
+func TestAllocGateNNF32(t *testing.T) {
+	const classes = 4
+	x, y := benchClassData(32, tensor.Side*tensor.Side, classes, 34)
+	cls, err := NewConvNet(2, classes, TrainConfig{Epochs: 2, Batch: 16, LR: 2e-3, Seed: 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.FitClassifier(x, y, classes); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := cls.CompileF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsToF32(x)
+	out := make([]float32, len(rows)*classes)
+	cc.PredictProbaBatchF32(rows, out) // warm the layer scratch
+	if n := testing.AllocsPerRun(10, func() { cc.PredictProbaBatchF32(rows, out) }); n != 0 {
+		t.Errorf("CompiledClassifier allocs/op = %g, want 0", n)
+	}
+
+	const featDim = 28
+	xr, yr := benchRegData(32, tensor.Side*tensor.Side+featDim, 35)
+	reg, err := NewConvMLP(2, featDim, TrainConfig{Epochs: 2, Batch: 16, LR: 1e-3, Seed: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.FitRegressor(xr, yr); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := reg.CompileF32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrows := rowsToF32(xr)
+	vout := make([]float32, len(rrows))
+	cr.PredictValueBatchF32(rrows, vout) // warm the layer scratch
+	if n := testing.AllocsPerRun(10, func() { cr.PredictValueBatchF32(rrows, vout) }); n != 0 {
+		t.Errorf("CompiledRegressor allocs/op = %g, want 0", n)
+	}
+}
+
+// BenchmarkLaneNNScore compares the float64 reference networks against
+// their compiled f32 forms on a serving-sized batch — the
+// `make bench-lanes` microbenchmark pair for the network side.
+func BenchmarkLaneNNScore(b *testing.B) {
+	const classes = 4
+	x, y := benchClassData(32, tensor.Side*tensor.Side*tensor.Side, classes, 36)
+	cls, err := NewConvNet(3, classes, TrainConfig{Epochs: 1, Batch: 16, LR: 2e-3, Seed: 1}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cls.FitClassifier(x, y, classes); err != nil {
+		b.Fatal(err)
+	}
+	cc, err := cls.CompileF32()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("convnet3d/f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cls.PredictProbaBatch(x)
+		}
+	})
+	b.Run("convnet3d/f32", func(b *testing.B) {
+		b.ReportAllocs()
+		rows := rowsToF32(x)
+		out := make([]float32, len(rows)*classes)
+		cc.PredictProbaBatchF32(rows, out)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cc.PredictProbaBatchF32(rows, out)
+		}
+	})
+
+	const featDim = 28
+	xr, yr := benchRegData(32, tensor.Side*tensor.Side*tensor.Side+featDim, 37)
+	reg, err := NewConvMLP(3, featDim, TrainConfig{Epochs: 1, Batch: 16, LR: 1e-3, Seed: 1}, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.FitRegressor(xr, yr); err != nil {
+		b.Fatal(err)
+	}
+	cr, err := reg.CompileF32()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("convmlp3d/f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = reg.PredictValueBatch(xr)
+		}
+	})
+	b.Run("convmlp3d/f32", func(b *testing.B) {
+		b.ReportAllocs()
+		rows := rowsToF32(xr)
+		out := make([]float32, len(rows))
+		cr.PredictValueBatchF32(rows, out)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cr.PredictValueBatchF32(rows, out)
+		}
+	})
+}

@@ -246,9 +246,9 @@ func TestFitTreeRejectsNonFinite(t *testing.T) {
 	x := [][]float64{{1, 2}, {3, 4}}
 	y := []float64{1, 2}
 	cases := []struct {
-		name    string
-		x       [][]float64
-		y, h    []float64
+		name string
+		x    [][]float64
+		y, h []float64
 	}{
 		{"nan feature", [][]float64{{1, math.NaN()}, {3, 4}}, y, nil},
 		{"inf feature", [][]float64{{1, 2}, {math.Inf(1), 4}}, y, nil},

@@ -145,12 +145,23 @@ func Index(o Opt) int {
 // model input alongside the parameter setting.
 func (o Opt) FlagVector() []float64 {
 	v := make([]float64, len(All))
+	o.FlagVectorInto(v)
+	return v
+}
+
+// FlagVectorInto writes FlagVector's features into dst (len(All)) without
+// allocating, for callers encoding into arena scratch.
+func (o Opt) FlagVectorInto(dst []float64) {
+	if len(dst) != len(All) {
+		panic(fmt.Sprintf("opt: flag dst %d, want %d", len(dst), len(All)))
+	}
 	for i, opt := range All {
 		if o.Has(opt) {
-			v[i] = 1
+			dst[i] = 1
+		} else {
+			dst[i] = 0
 		}
 	}
-	return v
 }
 
 // FlagNames lists the OC flag feature names in FlagVector order.

@@ -187,11 +187,28 @@ var ParamFeatureNames = []string{
 
 // Encode converts the setting into the fixed-width feature vector.
 func (p Params) Encode() []float64 {
-	return []float64{
-		log2f(p.BlockX), log2f(p.BlockY), log2f(p.Merge), float64(p.MergeDim),
-		log2f(p.StreamTile), float64(p.StreamDim), log2f(p.Unroll), boolf(p.UseSmem),
-		log2f(p.TBDepth), float64(p.PrefetchDepth),
+	out := make([]float64, len(ParamFeatureNames))
+	p.EncodeInto(out)
+	return out
+}
+
+// EncodeInto writes Encode's feature vector into dst
+// (len(ParamFeatureNames)) without allocating, for callers encoding into
+// arena scratch on the serving hot path.
+func (p Params) EncodeInto(dst []float64) {
+	if len(dst) != len(ParamFeatureNames) {
+		panic(fmt.Sprintf("opt: encode dst %d, want %d", len(dst), len(ParamFeatureNames)))
 	}
+	dst[0] = log2f(p.BlockX)
+	dst[1] = log2f(p.BlockY)
+	dst[2] = log2f(p.Merge)
+	dst[3] = float64(p.MergeDim)
+	dst[4] = log2f(p.StreamTile)
+	dst[5] = float64(p.StreamDim)
+	dst[6] = log2f(p.Unroll)
+	dst[7] = boolf(p.UseSmem)
+	dst[8] = log2f(p.TBDepth)
+	dst[9] = float64(p.PrefetchDepth)
 }
 
 func log2f(v int) float64 {

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseLane(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Lane
+		ok   bool
+	}{
+		{"", LaneF64, true},
+		{"f64", LaneF64, true},
+		{"f32", LaneF32, true},
+		{"f16", "", false},
+		{"F32", "", false},
+	}
+	for _, tc := range cases {
+		got, err := ParseLane(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseLane(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseLane(%q) accepted", tc.in)
+		}
+	}
+}
+
+// TestPredictLaneParam routes one request down each lane through the
+// full HTTP path. The f32 response must carry the same shape and the
+// same class decision as the f64 one (the smoke corpus is nowhere near
+// a decision tie for this probe); an unknown lane is a 400 before any
+// scoring work.
+func TestPredictLaneParam(t *testing.T) {
+	h := testServer(t).Handler()
+
+	post := func(lane string) (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		url := "/predict"
+		if lane != "" {
+			url += "?lane=" + lane
+		}
+		req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(`{"stencil":"star2d2r","gpu":"A100"}`))
+		h.ServeHTTP(rec, req)
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("lane %q: response %q is not JSON: %v", lane, rec.Body.String(), err)
+		}
+		return rec.Code, out
+	}
+
+	code64, out64 := post("f64")
+	if code64 != http.StatusOK {
+		t.Fatalf("f64 lane status %d: %v", code64, out64)
+	}
+	code32, out32 := post("f32")
+	if code32 != http.StatusOK {
+		t.Fatalf("f32 lane status %d: %v", code32, out32)
+	}
+	for _, field := range []string{"class", "proba", "oc", "params", "predicted_seconds"} {
+		if _, ok := out32[field]; !ok {
+			t.Errorf("f32 response missing %q: %v", field, out32)
+		}
+	}
+	if out32["class"] != out64["class"] {
+		t.Errorf("lanes disagree on class: f32 %v vs f64 %v", out32["class"], out64["class"])
+	}
+
+	if code, out := post("f16"); code != http.StatusBadRequest {
+		t.Fatalf("unknown lane status %d: %v", code, out)
+	} else if _, ok := out["error"]; !ok {
+		t.Fatalf("unknown lane missing error body: %v", out)
+	}
+}
+
+// TestStatszLaneCounters pins the per-lane request accounting on
+// /statsz: the default lane is reported, and an f32 request moves only
+// the f32 counter.
+func TestStatszLaneCounters(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	stats := func() StatsResponse {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("statsz status %d", rec.Code)
+		}
+		var st StatsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	before := stats()
+	if before.Lanes.DefaultLane != LaneF64 {
+		t.Errorf("default lane %q, want %q", before.Lanes.DefaultLane, LaneF64)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/predict?lane=f32", strings.NewReader(`{"stencil":"box2d1r","gpu":"V100"}`))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("f32 predict status %d: %s", rec.Code, rec.Body.String())
+	}
+	postPredict(t, h, `{"stencil":"box2d1r","gpu":"V100"}`)
+
+	after := stats()
+	if after.Lanes.F32Requests != before.Lanes.F32Requests+1 {
+		t.Errorf("f32 counter %d -> %d, want +1", before.Lanes.F32Requests, after.Lanes.F32Requests)
+	}
+	if after.Lanes.F64Requests != before.Lanes.F64Requests+1 {
+		t.Errorf("f64 counter %d -> %d, want +1", before.Lanes.F64Requests, after.Lanes.F64Requests)
+	}
+}

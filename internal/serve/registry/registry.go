@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"stencilmart/internal/core"
 )
@@ -36,6 +37,9 @@ type entry struct {
 	fw       *core.Framework
 	refs     int
 	retiring bool
+	// compileMillis is how long the f32 lane took to compile at publish
+	// time; 0 when the model set has no f32 form.
+	compileMillis float64
 }
 
 // Registry is safe for concurrent use. Acquire/Release critical sections
@@ -59,16 +63,26 @@ func New() *Registry {
 
 // Publish adds a trained framework as the next version and makes it
 // current for unpinned traffic. Existing versions stay acquirable by pin
-// until retired.
+// until retired. The f32 inference lane compiles here — at publish, off
+// the serving path — so the first f32 request never pays the model
+// build; a model set with no f32 form publishes anyway (f32 requests
+// against it fail at scoring time) and records a zero compile time.
 func (r *Registry) Publish(fw *core.Framework) (string, error) {
 	if fw == nil || fw.Trained == nil {
 		return "", ErrUntrained
+	}
+	// Compile before taking the lock: serving traffic on other versions
+	// must not stall behind a model build.
+	start := time.Now()
+	var compileMillis float64
+	if _, err := fw.CompiledF32(); err == nil {
+		compileMillis = float64(time.Since(start).Nanoseconds()) / 1e6
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
 	v := fmt.Sprintf("v%d", r.nextID)
-	e := &entry{version: v, fw: fw}
+	e := &entry{version: v, fw: fw, compileMillis: compileMillis}
 	r.versions[v] = e
 	r.order = append(r.order, v)
 	r.current = e
@@ -184,6 +198,9 @@ type VersionInfo struct {
 	Refs int `json:"refs"`
 	// Retiring marks a version draining toward removal.
 	Retiring bool `json:"retiring,omitempty"`
+	// CompileMillis is the publish-time f32 lane build duration in
+	// milliseconds (0 when the version has no f32 form).
+	CompileMillis float64 `json:"compile_millis"`
 }
 
 // Versions lists every live version in publish order.
@@ -194,10 +211,11 @@ func (r *Registry) Versions() []VersionInfo {
 	for _, v := range r.order {
 		e := r.versions[v]
 		out = append(out, VersionInfo{
-			Version:  e.version,
-			Current:  e == r.current,
-			Refs:     e.refs,
-			Retiring: e.retiring,
+			Version:       e.version,
+			Current:       e == r.current,
+			Refs:          e.refs,
+			Retiring:      e.retiring,
+			CompileMillis: e.compileMillis,
 		})
 	}
 	return out

@@ -49,6 +49,32 @@ const DefaultBatchSize = 32
 // MaxRequestBytes bounds a /predict body; larger requests get 413.
 const MaxRequestBytes = 1 << 20
 
+// Lane selects which numeric inference path scores a request: the
+// float64 reference pipeline or the compiled float32 hot path (quantized
+// SoA tree traversal / f32 GEMM over arena scratch). Decisions agree
+// away from documented ties; see DESIGN.md §11 for the tolerance
+// contract.
+type Lane string
+
+const (
+	// LaneF64 is the float64 reference pipeline — the default.
+	LaneF64 Lane = "f64"
+	// LaneF32 is the compiled float32 inference lane.
+	LaneF32 Lane = "f32"
+)
+
+// ParseLane validates a lane name ("" selects the default f64 lane).
+func ParseLane(s string) (Lane, error) {
+	switch Lane(s) {
+	case "":
+		return LaneF64, nil
+	case LaneF64, LaneF32:
+		return Lane(s), nil
+	default:
+		return "", fmt.Errorf("unknown lane %q (f32, f64)", s)
+	}
+}
+
 // Options tunes the hardened server; zero values select the defaults.
 type Options struct {
 	// Timeout bounds one request's prediction work (DefaultTimeout if 0).
@@ -66,6 +92,9 @@ type Options struct {
 	// Clock drives the coalescing window; nil uses real time. Tests
 	// inject a fake to flush batches deterministically.
 	Clock batch.Clock
+	// Lane is the default inference lane for requests that don't pin one
+	// with ?lane= (LaneF64 if empty).
+	Lane Lane
 }
 
 // endpointStats aggregates per-endpoint counters with atomics so the
@@ -116,8 +145,9 @@ func (s *endpointStats) snapshot() EndpointSnapshot {
 // released exactly once — by scoreBatch after scoring, or by the
 // coalescer's drop hook if the job never reaches a batch.
 type predictJob struct {
-	h   *registry.Handle
-	req core.ServeRequest
+	h    *registry.Handle
+	req  core.ServeRequest
+	lane Lane
 }
 
 // predictBatchFn scores one batch of requests against one framework.
@@ -132,6 +162,16 @@ type Server struct {
 	co      *batch.Coalescer[predictJob, *core.ServePrediction]
 	timeout time.Duration
 	started time.Time
+	lane    Lane // default lane for requests without ?lane=
+
+	// arena is the f32 lane's per-batch scratch. The coalescer scores
+	// batches through a single serialized lane, so one server-owned
+	// arena is reused across every flush without synchronization.
+	arena *core.ServeArena
+
+	// laneF64/laneF32 count /predict requests scored per lane.
+	laneF64 atomic.Uint64
+	laneF32 atomic.Uint64
 
 	healthz endpointStats
 	statsz  endpointStats
@@ -189,11 +229,17 @@ func NewWithRegistry(reg *registry.Registry, opts Options) (*Server, error) {
 	if opts.BatchSize == 0 {
 		opts.BatchSize = DefaultBatchSize
 	}
+	lane, err := ParseLane(string(opts.Lane))
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
 		fw:       fw,
 		reg:      reg,
 		timeout:  opts.Timeout,
 		started:  time.Now(),
+		lane:     lane,
+		arena:    core.NewServeArena(),
 		inflight: make(chan struct{}, opts.MaxInFlight),
 	}
 	s.setPredict(nil)
@@ -226,31 +272,39 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 func (s *Server) Close() { s.co.Close() }
 
 // scoreBatch is the coalescer's score function: jobs group by leased
-// framework (a batch spanning a hot-swap scores each version's requests
-// against its own models), every group scores through one batched model
-// call, and all leases release on the way out — panics included.
+// framework and lane (a batch spanning a hot-swap scores each version's
+// requests against its own models; mixed-lane batches score each lane
+// through its own pipeline), every group scores through one batched
+// model call, and all leases release on the way out — panics included.
 func (s *Server) scoreBatch(jobs []predictJob) []batch.Outcome[*core.ServePrediction] {
-	outs := make([]batch.Outcome[*core.ServePrediction], len(jobs))
-	byFW := make(map[*core.Framework][]int)
-	var order []*core.Framework
-	for i, j := range jobs {
-		fw := j.h.Framework()
-		if _, seen := byFW[fw]; !seen {
-			order = append(order, fw)
-		}
-		byFW[fw] = append(byFW[fw], i)
+	type fwLane struct {
+		fw   *core.Framework
+		lane Lane
 	}
-	for _, fw := range order {
-		s.scoreGroup(fw, byFW[fw], jobs, outs)
+	outs := make([]batch.Outcome[*core.ServePrediction], len(jobs))
+	byGroup := make(map[fwLane][]int)
+	var order []fwLane
+	for i, j := range jobs {
+		key := fwLane{fw: j.h.Framework(), lane: j.lane}
+		if _, seen := byGroup[key]; !seen {
+			order = append(order, key)
+		}
+		byGroup[key] = append(byGroup[key], i)
+	}
+	for _, key := range order {
+		s.scoreGroup(key.fw, key.lane, byGroup[key], jobs, outs)
 	}
 	return outs
 }
 
-// scoreGroup scores one same-framework slice of a batch. A panicking
-// predict function fails this group with counted "internal error"
-// outcomes — its batchmates in other groups and the lane itself are
-// unaffected — and the deferred releases keep the registry drainable.
-func (s *Server) scoreGroup(fw *core.Framework, idxs []int, jobs []predictJob, outs []batch.Outcome[*core.ServePrediction]) {
+// scoreGroup scores one same-(framework, lane) slice of a batch. The
+// f32 lane scores through the compiled models over the server's arena;
+// the f64 lane goes through predictFn (which tests substitute — test
+// doubles only ever intercept the reference lane). A panicking predict
+// function fails this group with counted "internal error" outcomes —
+// its batchmates in other groups and the lane itself are unaffected —
+// and the deferred releases keep the registry drainable.
+func (s *Server) scoreGroup(fw *core.Framework, lane Lane, idxs []int, jobs []predictJob, outs []batch.Outcome[*core.ServePrediction]) {
 	defer func() {
 		for _, i := range idxs {
 			jobs[i].h.Release()
@@ -269,7 +323,14 @@ func (s *Server) scoreGroup(fw *core.Framework, idxs []int, jobs []predictJob, o
 	for k, i := range idxs {
 		reqs[k] = jobs[i].req
 	}
-	res := (*s.predictFn.Load())(fw, reqs)
+	var res []core.ServeOutcome
+	if lane == LaneF32 {
+		s.laneF32.Add(uint64(len(idxs)))
+		res = fw.ServePredictBatchF32(reqs, s.arena)
+	} else {
+		s.laneF64.Add(uint64(len(idxs)))
+		res = (*s.predictFn.Load())(fw, reqs)
+	}
 	if len(res) != len(idxs) {
 		err := fmt.Errorf("internal error: predict returned %d outcomes for %d requests", len(res), len(idxs))
 		for _, i := range idxs {
@@ -382,7 +443,19 @@ type StatsResponse struct {
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Faults        FaultSnapshot               `json:"faults"`
 	Batch         batch.Stats                 `json:"batch"`
+	Lanes         LaneSnapshot                `json:"lanes"`
 	Models        []registry.VersionInfo      `json:"models"`
+}
+
+// LaneSnapshot reports how /predict traffic split across the inference
+// lanes (the per-version f32 compile times live in the Models listing).
+type LaneSnapshot struct {
+	// DefaultLane is the lane requests without ?lane= ride.
+	DefaultLane Lane `json:"default_lane"`
+	// F32Requests counts requests scored through the compiled f32 lane.
+	F32Requests uint64 `json:"f32_requests"`
+	// F64Requests counts requests scored through the f64 reference lane.
+	F64Requests uint64 `json:"f64_requests"`
 }
 
 // FaultSnapshot reports the hardening counters: every time the server
@@ -441,7 +514,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			LoadShed:         s.shed.Load(),
 			OversizeRequests: s.oversize.Load(),
 		},
-		Batch:  s.co.Stats(),
+		Batch: s.co.Stats(),
+		Lanes: LaneSnapshot{
+			DefaultLane: s.lane,
+			F32Requests: s.laneF32.Load(),
+			F64Requests: s.laneF64.Load(),
+		},
 		Models: s.reg.Versions(),
 	})
 }
@@ -614,6 +692,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// ?lane=f32|f64 overrides the server's default inference lane.
+	lane := s.lane
+	if q := r.URL.Query().Get("lane"); q != "" {
+		lane, err = ParseLane(q)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+	}
+
 	// Lease a model version: ?model=vN pins one, otherwise the request
 	// follows the registry's current pointer. The lease travels with the
 	// job through the coalescer and is released after scoring, so a
@@ -629,7 +717,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job := predictJob{h: h, req: core.ServeRequest{GPU: req.GPU, Stencil: st}}
+	job := predictJob{h: h, req: core.ServeRequest{GPU: req.GPU, Stencil: st}, lane: lane}
 	pred, err := s.co.Do(r.Context(), job)
 	if err != nil {
 		writeJSON(w, predictStatus(err), errorBody{Error: err.Error()})

@@ -1,30 +1,42 @@
 package stencil
 
+// lineSide is the extent of one offset axis: offsets live in
+// [-MaxOrder, MaxOrder], so a fixed mark array replaces a map and the
+// counters stay allocation-free on serving hot paths.
+const lineSide = 2*MaxOrder + 1
+
 // LineCount returns the number of distinct grid lines (fixed dy, dz; the
 // x extent is contiguous) the stencil touches per output point. It is the
 // footprint measure driving cache behavior in the performance model and
 // the engineered regression features.
 func LineCount(s Stencil) int {
-	type line struct{ dy, dz int }
-	seen := make(map[line]bool)
+	var seen [lineSide * lineSide]bool
+	n := 0
 	for _, p := range s.Points {
-		seen[line{p.Dy, p.Dz}] = true
+		i := (p.Dy+MaxOrder)*lineSide + (p.Dz + MaxOrder)
+		if !seen[i] {
+			seen[i] = true
+			n++
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // PlaneLineCount returns the distinct in-plane lines once the given
 // streaming dimension (1=x, 2=y, 3=z) is collapsed: the per-plane miss
 // footprint of a register-streaming kernel.
 func PlaneLineCount(s Stencil, streamDim int) int {
-	seen := make(map[int]bool)
+	var seen [lineSide]bool
+	n := 0
 	for _, p := range s.Points {
-		switch streamDim {
-		case 3: // stream z: plane (x, y), lines along x -> distinct dy
-			seen[p.Dy] = true
-		default: // stream x or y: remaining lines differ by dz
-			seen[p.Dz] = true
+		d := p.Dz
+		if streamDim == 3 { // stream z: plane (x, y), lines along x -> distinct dy
+			d = p.Dy
+		}
+		if !seen[d+MaxOrder] {
+			seen[d+MaxOrder] = true
+			n++
 		}
 	}
-	return len(seen)
+	return n
 }

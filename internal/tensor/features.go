@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 
 	"stencilmart/internal/stencil"
@@ -29,31 +30,51 @@ var NumFeatures = len(FeatureNames)
 // All counts are raw; ratios are relative to the total non-zero count.
 func Features(s stencil.Stencil) []float64 {
 	f := make([]float64, NumFeatures)
+	FeaturesInto(s, f)
+	return f
+}
+
+// FeaturesInto writes Features into f (len NumFeatures) without
+// allocating, for serving-path callers encoding into arena scratch. Like
+// Features it panics on an invalid stencil. Sparsity comes from the point
+// count directly — Validate guarantees the canonical point set is
+// duplicate-free, so it equals the assigned tensor's NNZ without
+// materializing the tensor — and the per-order counts are tallied in one
+// pass instead of through PointsAtOrder's filtered copies. Every value is
+// the same float64 Features has always produced.
+func FeaturesInto(s stencil.Stencil, f []float64) {
+	if len(f) != NumFeatures {
+		panic(fmt.Sprintf("tensor: features dst %d, want %d", len(f), NumFeatures))
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Errorf("tensor: %w", err))
+	}
 	nnz := float64(s.NumPoints())
 	f[0] = float64(s.Order())
 	f[1] = nnz
-	f[2] = MustAssign(s).Sparsity()
-	for o := 1; o <= stencil.MaxOrder; o++ {
-		cnt := float64(len(s.PointsAtOrder(o)))
-		f[2+o] = cnt
-		f[6+o] = cnt / nnz
-	}
-	if s.Dims == 3 {
-		f[11] = 1
-	}
+	f[2] = nnz / float64(VolumeLen(s.Dims))
+	var orders [stencil.MaxOrder + 1]float64
 	var sum, maxd float64
 	for _, p := range s.Points {
+		orders[p.Order()]++
 		d := p.Euclidean()
 		sum += d
 		if d > maxd {
 			maxd = d
 		}
 	}
+	for o := 1; o <= stencil.MaxOrder; o++ {
+		f[2+o] = orders[o]
+		f[6+o] = orders[o] / nnz
+	}
+	f[11] = 0
+	if s.Dims == 3 {
+		f[11] = 1
+	}
 	f[12] = sum / nnz
 	f[13] = maxd
 	f[14] = float64(stencil.LineCount(s))
 	f[15] = float64(stencil.PlaneLineCount(s, 3))
-	return f
 }
 
 // NormalizeColumns scales every column of a feature matrix to [0, 1] by

@@ -26,22 +26,43 @@ type Binary struct {
 	Data []float64
 }
 
+// VolumeLen is the flat cell count of an assigned tensor: Side^dims.
+func VolumeLen(dims int) int {
+	size := Side * Side
+	if dims == 3 {
+		size *= Side
+	}
+	return size
+}
+
 // Assign rasterizes the stencil's access pattern into a binary tensor with
 // the central point at the middle cell, per Fig. 6 of the paper.
 func Assign(s stencil.Stencil) (Binary, error) {
-	if err := s.Validate(); err != nil {
-		return Binary{}, fmt.Errorf("tensor: %w", err)
-	}
-	b := Binary{Dims: s.Dims}
-	size := Side * Side
-	if s.Dims == 3 {
-		size *= Side
-	}
-	b.Data = make([]float64, size)
-	for _, p := range s.Points {
-		b.Data[b.index(p)] = 1
+	b := Binary{Dims: s.Dims, Data: make([]float64, VolumeLen(s.Dims))}
+	if err := AssignInto(s, b.Data); err != nil {
+		return Binary{}, err
 	}
 	return b, nil
+}
+
+// AssignInto rasterizes the stencil into dst (len VolumeLen(s.Dims)),
+// zeroing it first, without allocating — the arena-backed counterpart of
+// Assign for the serving hot path.
+func AssignInto(s stencil.Stencil, dst []float64) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("tensor: %w", err)
+	}
+	if len(dst) != VolumeLen(s.Dims) {
+		return fmt.Errorf("tensor: assign dst %d, want %d", len(dst), VolumeLen(s.Dims))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	b := Binary{Dims: s.Dims}
+	for _, p := range s.Points {
+		dst[b.index(p)] = 1
+	}
+	return nil
 }
 
 // MustAssign is Assign, panicking on error; for statically valid stencils.

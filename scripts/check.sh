@@ -20,6 +20,13 @@ go test -shuffle=on ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== alloc gate (f32 lane) =="
+# The zero-allocation contract of the float32 inference lane: compiled
+# tree/network scoring and the arena-backed serving encode path must
+# stay allocation-free once warm. AllocsPerRun is meaningless under
+# -race, so this is a separate plain run.
+go test -run AllocGate ./internal/linalg/ ./internal/ml/tree/ ./internal/ml/nn/ ./internal/core/
+
 echo "== bench smoke (race) =="
 # One iteration of every kernel/training benchmark under the race
 # detector: proves the GEMM backbone, the nn layers, the histogram

@@ -5,8 +5,17 @@
 # (-batch-size 1, one model call per request, the old global-mutex
 # behavior) and the coalescing default — appending every run to a single
 # JSON array (BENCH_serve.json). Each configuration gets a fresh server
-# process, so both sweep an identically cold sim cache. Run from the
-# repository root:
+# process, so both sweep an identically cold sim cache.
+#
+# A second sweep drives -distinct traffic (every request a unique
+# stencil, so dedup and the sim memo cache cannot collapse the stream)
+# through the f64 and f32 lanes — the honest model-throughput
+# comparison the float32 lane exists for. That sweep uses the network
+# checkpoint (ConvNet classifier + ConvMLP regressor), where inference
+# is GEMM-bound and the lane choice dominates; on the tree checkpoint
+# the per-request tuning search hides the scoring delta.
+#
+# Run from the repository root:
 #
 #   sh scripts/serve_bench.sh [output.json]
 set -eu
@@ -32,6 +41,12 @@ echo "-- train (smoke preset) --"
     cat "$tmp/train.log"; echo "serve bench: train failed" >&2; exit 1
 }
 
+echo "-- train (smoke preset, network models) --"
+"$tmp/stencilmart" train -preset smoke -classifier ConvNet -regressor ConvMLP \
+    -out "$tmp/model_nn.ckpt" >"$tmp/train_nn.log" 2>&1 || {
+    cat "$tmp/train_nn.log"; echo "serve bench: network train failed" >&2; exit 1
+}
+
 rm -f "$out"
 
 wait_for_addr() {
@@ -50,16 +65,17 @@ wait_for_addr() {
 }
 
 bench_mode() {
-    # bench_mode <label> [serve flags...]
-    label="$1"; shift
+    # bench_mode <label> <model> <loadgen extra flags> [serve flags...]
+    label="$1"; model="$2"; lgflags="$3"; shift 3
     echo "-- $label --"
     : >"$tmp/serve.log"
-    "$tmp/stencilmart" serve -model "$tmp/model.ckpt" -addr 127.0.0.1:0 -max-inflight 256 "$@" \
+    "$tmp/stencilmart" serve -model "$model" -addr 127.0.0.1:0 -max-inflight 256 "$@" \
         >"$tmp/serve.log" 2>&1 &
     server_pid=$!
     wait_for_addr
     for c in 1 8 32 64; do
-        "$tmp/stencilmart" loadgen -url "$base" -clients "$c" -n 40 \
+        # $lgflags word-splits deliberately: it carries loadgen flags.
+        "$tmp/stencilmart" loadgen -url "$base" -clients "$c" -n 40 $lgflags \
             -label "$label" -out "$out" -fail-on-error
     done
     kill -TERM "$server_pid"
@@ -67,7 +83,14 @@ bench_mode() {
     server_pid=""
 }
 
-bench_mode serial -batch-size 1
-bench_mode coalesced -batch-window 500us -batch-size 32
+bench_mode serial "$tmp/model.ckpt" "" -batch-size 1
+bench_mode coalesced "$tmp/model.ckpt" "" -batch-window 500us -batch-size 32
+
+# Distinct-request sweep on the network checkpoint: dedup-proof traffic
+# through the serialized baseline, the coalescing f64 lane, and the
+# coalescing f32 lane.
+bench_mode distinct-serial "$tmp/model_nn.ckpt" "-distinct" -batch-size 1
+bench_mode distinct-f64 "$tmp/model_nn.ckpt" "-distinct" -batch-window 500us -batch-size 32
+bench_mode distinct-f32 "$tmp/model_nn.ckpt" "-distinct -lane f32" -batch-window 500us -batch-size 32
 
 echo "serve bench written to $out"
