@@ -7,6 +7,8 @@
 //
 //	stencilmart gen        -dims 2 -n 10 -seed 1
 //	stencilmart profile    -out dataset.json [-preset paper]
+//	stencilmart campaign   coordinate -out dataset.json -shards 8 [-listen 127.0.0.1:8090]
+//	stencilmart campaign   work -join http://127.0.0.1:8090 [-id w1]
 //	stencilmart train      -dataset dataset.json -out model.ckpt
 //	stencilmart predict    -dataset dataset.json -stencil star2d2r -gpu V100
 //	stencilmart predict    -model model.ckpt -stencil star2d2r -gpu V100
@@ -54,6 +56,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
 	case "predict":
@@ -91,6 +95,7 @@ func usage() {
 commands:
   gen         generate random neighbor-chained stencils (Algorithm 1)
   profile     profile a random corpus on every GPU and write the dataset
+  campaign    distribute one profiling run across worker processes (coordinate, work)
   train       train every serving model and write a checkpoint
   predict     predict the best optimization combination for a stencil
   serve       serve predictions over HTTP from a trained checkpoint
@@ -99,7 +104,7 @@ commands:
   simulate    run one kernel configuration on the simulated GPU
   codegen     emit the CUDA kernel source for a stencil under an OC
   tune        search an OC's parameter space (random or genetic)
-  experiment  regenerate a paper table/figure (table1-3, fig1-4, fig9-15, all)
+  experiment  regenerate a paper table/figure (table1-3, fig1-4, fig9-15, scale, all)
 
 run 'stencilmart <command> -h' for command flags`)
 }
@@ -606,7 +611,7 @@ func cmdTune(args []string) error {
 
 func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	id := fs.String("id", "all", "experiment id (table1-3, fig1-4, fig9-15, all)")
+	id := fs.String("id", "all", "experiment id (table1-3, fig1-4, fig9-15, scale, all)")
 	preset := fs.String("preset", "default", "pipeline preset")
 	seed := fs.Int64("seed", 0, "override pipeline seed")
 	if err := fs.Parse(args); err != nil {

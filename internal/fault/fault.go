@@ -34,24 +34,25 @@ import (
 // the unit interval in the order panic, transient, NaN, Inf, spike.
 type Config struct {
 	// Seed drives every injection decision.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// PanicRate is the probability an attempt panics mid-measurement.
-	PanicRate float64
+	PanicRate float64 `json:"panic_rate"`
 	// TransientRate is the probability an attempt fails with a
 	// *TransientError (the "driver hiccup" class a retry cures).
-	TransientRate float64
+	TransientRate float64 `json:"transient_rate"`
 	// NaNRate and InfRate are the probabilities a successful measurement
 	// reports a non-finite time.
-	NaNRate, InfRate float64
+	NaNRate float64 `json:"nan_rate"`
+	InfRate float64 `json:"inf_rate"`
 	// SpikeRate is the probability a successful measurement's time is
 	// multiplied by SpikeFactor (a timing outlier).
-	SpikeRate float64
+	SpikeRate float64 `json:"spike_rate"`
 	// SpikeFactor scales spiked times; <= 1 selects DefaultSpikeFactor.
-	SpikeFactor float64
+	SpikeFactor float64 `json:"spike_factor,omitempty"`
 	// MaxFaultsPerSite caps the total faults injected at one measurement
 	// site, guaranteeing retries eventually observe the clean value;
 	// <= 0 selects DefaultMaxFaultsPerSite.
-	MaxFaultsPerSite int
+	MaxFaultsPerSite int `json:"max_faults_per_site,omitempty"`
 }
 
 // DefaultSpikeFactor is the timing-outlier multiplier.

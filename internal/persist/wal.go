@@ -80,6 +80,16 @@ func OpenWAL(path, kind string, version int, meta any) (*WAL, *WALReplay, error)
 	return &WAL{f: f, path: path}, replay, nil
 }
 
+// ReadWAL replays the log at path without opening it for append and
+// without truncating a damaged tail — the read-only path merge steps
+// use to inspect shard journals they do not own. Header verification
+// and record recovery match OpenWAL exactly; a damaged tail is reported
+// in TruncatedBytes but left on disk.
+func ReadWAL(path, kind string, version int) (*WALReplay, error) {
+	replay, _, err := replayWAL(path, kind, version)
+	return replay, err
+}
+
 // createWAL starts a fresh log with a header line.
 func createWAL(path, kind string, version int, meta any) (*WAL, *WALReplay, error) {
 	var buf bytes.Buffer

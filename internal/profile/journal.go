@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -41,7 +42,7 @@ type journalMeta struct {
 	Seed         int64  `json:"seed"`
 	SamplesPerOC int    `json:"samples_per_oc"`
 	Trials       int    `json:"trials"`
-	Corpus       string `json:"corpus"` // sha256 of the stencil corpus + arch names
+	Corpus       string `json:"corpus"` // sha256 of the stencil corpus + full arch specs
 	Cells        int    `json:"cells"`
 }
 
@@ -50,6 +51,61 @@ type journalCell struct {
 	Index     int        `json:"index"`
 	Profile   Profile    `json:"profile"`
 	Instances []Instance `json:"instances"`
+}
+
+// cellSet accumulates replayed cells across one or more journals,
+// keeping each cell's raw record bytes so duplicate indices can be
+// compared bitwise.
+type cellSet struct {
+	done []*journalCell
+	raw  []json.RawMessage
+}
+
+func newCellSet(n int) *cellSet {
+	return &cellSet{done: make([]*journalCell, n), raw: make([]json.RawMessage, n)}
+}
+
+// absorb decodes records into the set and returns how many previously
+// unseen cells they contributed. A duplicate index is tolerated only
+// when its record bytes are identical to the first occurrence —
+// deterministic collection means an honestly re-measured cell (a
+// re-dispatched shard, a doubly-appended record) reproduces the exact
+// bytes, so divergence is corruption or a foreign journal, and
+// last-write-wins would silently pick one of two conflicting
+// measurements.
+func (cs *cellSet) absorb(records []json.RawMessage, source string) (fresh int, err error) {
+	n := len(cs.done)
+	for _, raw := range records {
+		var c journalCell
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return fresh, fmt.Errorf("%w: %s: journal record: %v", ErrJournalMismatch, source, err)
+		}
+		if c.Index < 0 || c.Index >= n {
+			return fresh, fmt.Errorf("%w: %s: journal cell index %d outside [0,%d)", ErrJournalMismatch, source, c.Index, n)
+		}
+		if prev := cs.raw[c.Index]; prev != nil {
+			if !bytes.Equal(prev, raw) {
+				return fresh, fmt.Errorf("%w: %s: divergent duplicate records for cell %d", ErrJournalMismatch, source, c.Index)
+			}
+			continue
+		}
+		cell := c
+		cs.done[c.Index] = &cell
+		cs.raw[c.Index] = raw
+		fresh++
+	}
+	return fresh, nil
+}
+
+// missing lists the cell indices not yet absorbed, in ascending order.
+func (cs *cellSet) missing() []int {
+	var out []int
+	for i := range cs.done {
+		if cs.done[i] == nil {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // ResumeStats reports what CollectJournal recovered versus re-measured.
@@ -64,20 +120,20 @@ type ResumeStats struct {
 	RepairedBytes int64
 }
 
-// journalMeta computes this profiler+corpus identity.
+// journalMeta computes this profiler+corpus identity. The corpus hash
+// covers the full gpu.Arch specs, not just the names: two catalogs that
+// share names but differ in any microarchitectural parameter measure
+// different times, and resuming across them would silently splice
+// incompatible measurements into one dataset.
 func (p *Profiler) journalMeta(stencils []stencil.Stencil, archs []gpu.Arch) (journalMeta, error) {
 	trials := p.Trials
 	if trials < 1 {
 		trials = 1
 	}
-	names := make([]string, len(archs))
-	for i, a := range archs {
-		names[i] = a.Name
-	}
 	raw, err := json.Marshal(struct {
 		Stencils []stencil.Stencil `json:"stencils"`
-		Archs    []string          `json:"archs"`
-	}{stencils, names})
+		Archs    []gpu.Arch        `json:"archs"`
+	}{stencils, archs})
 	if err != nil {
 		return journalMeta{}, err
 	}
@@ -115,39 +171,22 @@ func (p *Profiler) CollectJournal(ctx context.Context, path string, stencils []s
 	}
 	defer wal.Close()
 
-	var got journalMeta
-	if err := json.Unmarshal(replay.Meta, &got); err != nil {
-		return nil, stats, fmt.Errorf("%w: unreadable journal meta: %v", ErrJournalMismatch, err)
-	}
-	if got != meta {
-		return nil, stats, fmt.Errorf("%w: journal holds %+v, this collection is %+v", ErrJournalMismatch, got, meta)
+	if err := matchMeta(replay.Meta, meta, path); err != nil {
+		return nil, stats, err
 	}
 
 	n := meta.Cells
 	stats.Cells = n
 	stats.RepairedBytes = replay.TruncatedBytes
-	done := make([]*journalCell, n)
-	for _, raw := range replay.Records {
-		var c journalCell
-		if err := json.Unmarshal(raw, &c); err != nil {
-			return nil, stats, fmt.Errorf("%w: journal record: %v", ErrJournalMismatch, err)
-		}
-		if c.Index < 0 || c.Index >= n {
-			return nil, stats, fmt.Errorf("%w: journal cell index %d outside [0,%d)", ErrJournalMismatch, c.Index, n)
-		}
-		if done[c.Index] == nil {
-			stats.Resumed++
-		}
-		cell := c
-		done[c.Index] = &cell
+	cells := newCellSet(n)
+	fresh, err := cells.absorb(replay.Records, path)
+	if err != nil {
+		return nil, stats, err
 	}
+	stats.Resumed = fresh
+	done := cells.done
 
-	var remaining []int
-	for i := range done {
-		if done[i] == nil {
-			remaining = append(remaining, i)
-		}
-	}
+	remaining := cells.missing()
 	stats.Measured = len(remaining)
 
 	p.model() // resolve the lazy model before workers race to do it
@@ -172,8 +211,14 @@ func (p *Profiler) CollectJournal(ctx context.Context, path string, stencils []s
 		return nil, stats, err
 	}
 
-	// Assemble in cell-index order — the same order Collect uses, so the
-	// resumed dataset is byte-identical to an uninterrupted one.
+	return assembleDataset(stencils, archs, done), stats, nil
+}
+
+// assembleDataset lays completed cells into a dataset in cell-index
+// order — the same order Collect uses, so resumed or merged datasets
+// are byte-identical to an uninterrupted serial run. Every entry of
+// done must be non-nil.
+func assembleDataset(stencils []stencil.Stencil, archs []gpu.Arch, done []*journalCell) *Dataset {
 	d := &Dataset{Stencils: stencils}
 	d.Archs = append(d.Archs, archs...)
 	d.Profiles = make([][]Profile, len(archs))
@@ -185,5 +230,5 @@ func (p *Profiler) CollectJournal(ctx context.Context, path string, stencils []s
 		d.Profiles[i/nS][i%nS] = c.Profile
 		d.Instances = append(d.Instances, c.Instances...)
 	}
-	return d, stats, nil
+	return d
 }

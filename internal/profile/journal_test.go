@@ -255,6 +255,154 @@ func TestJournalVersionMismatch(t *testing.T) {
 	}
 }
 
+// TestJournalArchSpecMismatch: the journal identity must cover the full
+// architecture specs, not just their names. A catalog entry whose spec
+// changed (here: memory bandwidth) measures different times, so resuming
+// a journal collected under the old spec would silently splice
+// incompatible measurements — it must be refused.
+func TestJournalArchSpecMismatch(t *testing.T) {
+	stencils, archs := journalFixture(t)
+	path := filepath.Join(t.TempDir(), "collect.journal")
+	if _, _, err := journalProfiler().CollectJournal(context.Background(), path, stencils, archs); err != nil {
+		t.Fatalf("initial CollectJournal: %v", err)
+	}
+	modified := append([]gpu.Arch(nil), archs...)
+	modified[1].MemBWGBs += 100 // same Name, different hardware
+	_, _, err := journalProfiler().CollectJournal(context.Background(), path, stencils, modified)
+	if !errors.Is(err, profile.ErrJournalMismatch) {
+		t.Fatalf("resume against a changed arch spec returned %v, want ErrJournalMismatch", err)
+	}
+}
+
+// journalLines splits a journal file into its header + record lines.
+func journalLines(t *testing.T, path string) [][]byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+func writeJournalLines(t *testing.T, path string, lines [][]byte) {
+	t.Helper()
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalDuplicateIdentical: a byte-identical duplicate record (a
+// re-dispatched shard, a doubly-flushed append) is tolerated — the
+// duplicate is counted once and the assembled dataset is unchanged.
+func TestJournalDuplicateIdentical(t *testing.T) {
+	stencils, archs := journalFixture(t)
+	want := baselineBytes(t, stencils, archs)
+	path := filepath.Join(t.TempDir(), "collect.journal")
+	if _, _, err := journalProfiler().CollectJournal(context.Background(), path, stencils, archs); err != nil {
+		t.Fatalf("initial CollectJournal: %v", err)
+	}
+
+	lines := journalLines(t, path)
+	if len(lines) != 9 {
+		t.Fatalf("journal has %d lines, want header + 8 records", len(lines))
+	}
+	dup := append([][]byte{}, lines...)
+	dup = append(dup, lines[3]) // duplicate cell index 2, byte-identical
+	writeJournalLines(t, path, dup)
+
+	ds, stats, err := journalProfiler().CollectJournal(context.Background(), path, stencils, archs)
+	if err != nil {
+		t.Fatalf("resume over identical duplicate: %v", err)
+	}
+	if stats.Resumed != 8 || stats.Measured != 0 {
+		t.Fatalf("duplicate stats %+v, want all 8 unique cells resumed", stats)
+	}
+	testutil.AssertSameBytes(t, "deduped dataset", want, testutil.DatasetJSON(t, ds))
+}
+
+// TestJournalDuplicateDivergent: two records claiming the same cell with
+// different bytes cannot both be right; last-write-wins used to silently
+// pick one. The replay must fail with ErrJournalMismatch instead.
+func TestJournalDuplicateDivergent(t *testing.T) {
+	stencils, archs := journalFixture(t)
+	path := filepath.Join(t.TempDir(), "collect.journal")
+	p := journalProfiler()
+	if _, _, err := p.CollectJournal(context.Background(), path, stencils, archs); err != nil {
+		t.Fatalf("initial CollectJournal: %v", err)
+	}
+
+	// Append a validly-checksummed record for an already-present index
+	// whose payload differs from the original measurement.
+	meta := struct{}{}
+	w, _, err := persist.OpenWAL(path, profile.JournalKind, profile.JournalVersion, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := struct {
+		Index int `json:"index"`
+	}{Index: 5}
+	if err := w.Append(forged); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	_, _, err = p.CollectJournal(context.Background(), path, stencils, archs)
+	if !errors.Is(err, profile.ErrJournalMismatch) {
+		t.Fatalf("divergent duplicate returned %v, want ErrJournalMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "divergent duplicate") {
+		t.Fatalf("mismatch error %q does not name the divergent duplicate", err)
+	}
+}
+
+// TestResumeStatsDamagedTailWithDuplicates: the accounting must stay
+// exact when a journal holds both a duplicated record and a damaged
+// tail — Resumed counts unique cells, Measured counts the re-measured
+// remainder, and RepairedBytes reports the dropped tail.
+func TestResumeStatsDamagedTailWithDuplicates(t *testing.T) {
+	stencils, archs := journalFixture(t)
+	want := baselineBytes(t, stencils, archs)
+	path := filepath.Join(t.TempDir(), "collect.journal")
+	if _, _, err := journalProfiler().CollectJournal(context.Background(), path, stencils, archs); err != nil {
+		t.Fatalf("initial CollectJournal: %v", err)
+	}
+
+	lines := journalLines(t, path)
+	if len(lines) != 9 {
+		t.Fatalf("journal has %d lines, want header + 8 records", len(lines))
+	}
+	// Rebuild as: header, r0..r4, dup(r2), r5, r6, then a half-written r7.
+	var out [][]byte
+	out = append(out, lines[:6]...)   // header + r0..r4
+	out = append(out, lines[3])       // duplicate of cell 2
+	out = append(out, lines[6:8]...)  // r5, r6
+	tail := lines[8][:len(lines[8])/2] // r7 cut mid-line
+	out = append(out, tail)
+	writeJournalLines(t, path, out)
+
+	counting := &countingRunner{model: sim.New()}
+	p := journalProfiler()
+	p.Runner = counting
+	ds, stats, err := p.CollectJournal(context.Background(), path, stencils, archs)
+	if err != nil {
+		t.Fatalf("resume over duplicate + damaged tail: %v", err)
+	}
+	if stats.Cells != 8 || stats.Resumed != 7 || stats.Measured != 1 {
+		t.Fatalf("stats %+v, want 7 unique resumed + 1 re-measured of 8", stats)
+	}
+	if stats.RepairedBytes != int64(len(tail)) {
+		t.Fatalf("RepairedBytes = %d, want the %d dropped tail bytes", stats.RepairedBytes, len(tail))
+	}
+	if got, wantCalls := counting.calls.Load(), int64(opt.NumCombinations*2); got != wantCalls {
+		t.Fatalf("re-measured %d samples, want exactly one cell's %d", got, wantCalls)
+	}
+	testutil.AssertSameBytes(t, "repaired deduped dataset", want, testutil.DatasetJSON(t, ds))
+}
+
 // TestJournalMetaMismatch: a journal written under a different seed (or
 // corpus, budget, trial count) must not be spliced into this collection.
 func TestJournalMetaMismatch(t *testing.T) {

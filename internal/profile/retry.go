@@ -60,10 +60,13 @@ func (rp RetryPolicy) Backoff(retry int) time.Duration {
 	}
 	d := base
 	for i := 1; i < retry; i++ {
-		d *= 2
-		if d >= lim {
+		// Clamp before doubling: once d passes lim/2 the next doubling
+		// would exceed the cap — or, for extreme bases, wrap a
+		// time.Duration negative and return a bogus delay.
+		if d > lim/2 {
 			return lim
 		}
+		d *= 2
 	}
 	if d > lim {
 		return lim
@@ -145,6 +148,7 @@ func (p *Profiler) measureAttempts(ctx context.Context, run sim.Runner, w sim.Wo
 		if !fault.IsTransient(err) {
 			return sim.Result{}, err
 		}
+		p.faults.Add(1)
 		last = err
 	}
 	return sim.Result{}, &GiveUpError{Attempts: attempts, Last: last}

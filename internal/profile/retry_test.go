@@ -235,6 +235,36 @@ func TestBackoffSchedule(t *testing.T) {
 	}
 }
 
+// TestBackoffOverflow: extreme policies must clamp, not wrap. Doubling
+// a huge BaseDelay used to overflow time.Duration negative and return a
+// bogus (negative or tiny) delay instead of MaxDelay.
+func TestBackoffOverflow(t *testing.T) {
+	huge := time.Duration(1) << 62
+	cases := []profile.RetryPolicy{
+		{BaseDelay: huge, MaxDelay: huge},
+		{BaseDelay: huge / 3, MaxDelay: huge},
+		{BaseDelay: time.Nanosecond, MaxDelay: huge},
+		{BaseDelay: huge, MaxDelay: time.Second},
+		{BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond},
+	}
+	for ci, rp := range cases {
+		prev := time.Duration(0)
+		for retry := 1; retry <= 70; retry++ {
+			d := rp.Backoff(retry)
+			if d <= 0 || d > rp.MaxDelay {
+				t.Fatalf("case %d: Backoff(%d) = %v outside (0, %v]", ci, retry, d, rp.MaxDelay)
+			}
+			if d < prev {
+				t.Fatalf("case %d: Backoff(%d) = %v shrank from %v", ci, retry, d, prev)
+			}
+			prev = d
+		}
+		if got := rp.Backoff(70); got != rp.MaxDelay {
+			t.Fatalf("case %d: deep retry Backoff = %v, want the %v cap", ci, got, rp.MaxDelay)
+		}
+	}
+}
+
 // TestCellTimeout bounds one cell's wall-clock: a runner that stalls
 // trips the per-cell deadline instead of hanging Collect.
 func TestCellTimeout(t *testing.T) {

@@ -5,10 +5,11 @@ import (
 	"time"
 )
 
-// histBuckets is the fixed bucket count of a latency histogram: powers of
-// two from 1µs, so bucket i covers [1µs<<(i-1), 1µs<<i) and the last
-// bucket is open-ended at ~2 minutes — wide enough for any served
-// request, cheap enough to snapshot on every /statsz hit.
+// histBuckets is the fixed bucket count of a latency histogram: powers
+// of two from 1µs. Bucket 0 covers [0, 1µs), bucket i >= 1 covers
+// [1µs<<(i-1), 1µs<<i), and the last bucket is open-ended above
+// 1µs<<26 (~67s) — wide enough for any served request, cheap enough to
+// snapshot on every /statsz hit.
 const histBuckets = 28
 
 // histBound returns the exclusive upper bound of bucket i.

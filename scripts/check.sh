@@ -44,4 +44,10 @@ echo "== chaos smoke =="
 # injection; the two dataset files must be byte-identical.
 sh scripts/chaos_smoke.sh
 
+echo "== campaign smoke =="
+# Distribute the smoke collection across a coordinator and three worker
+# processes, SIGKILL one mid-shard, and require the merged dataset to be
+# byte-identical to the serial run.
+sh scripts/campaign_smoke.sh
+
 echo "all checks passed"
