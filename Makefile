@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check serve-smoke chaos-smoke campaign-smoke bench bench-kernels bench-trees bench-lanes bench-serve fuzz
+.PHONY: build test vet race check serve-smoke chaos-smoke chaos-serve campaign-smoke bench bench-kernels bench-trees bench-lanes bench-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ serve-smoke:
 
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# Serving-tier resilience drill: chaos-armed HTTP server, breaker trip
+# into degraded fallback, bounded errors, half-open recovery.
+chaos-serve:
+	sh scripts/serve_chaos_smoke.sh
 
 campaign-smoke:
 	sh scripts/campaign_smoke.sh

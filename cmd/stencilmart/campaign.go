@@ -64,6 +64,7 @@ func cmdCampaignCoordinate(args []string) error {
 	lease := fs.Duration("lease", campaign.DefaultLease, "heartbeat deadline before a shard is re-dispatched")
 	chaos := fs.Bool("chaos", false, "have every worker inject deterministic measurement faults; the merged dataset must still match the fault-free serial run")
 	chaosSeed := fs.Int64("chaos-seed", 99, "fault-injection seed")
+	token := fs.String("token", "", "campaign auth token; workers must present it on /lease, /heartbeat, and /complete (empty = open)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +102,7 @@ func cmdCampaignCoordinate(args []string) error {
 		Shards: *shards,
 		Lease:  *lease,
 		Dir:    campDir,
+		Token:  *token,
 		// Publish the bound address so scripts (and humans) can point
 		// workers at a :0 coordinator.
 		OnListen: func(addr string) {
@@ -153,6 +155,7 @@ func cmdCampaignWork(args []string) error {
 	workers := fs.Int("workers", 0, "measurement goroutines per shard (0 = GOMAXPROCS)")
 	poll := fs.Duration("poll", campaign.DefaultPoll, "wait between lease attempts when every shard is taken")
 	stall := fs.Int("stall-after", 0, "straggler drill: hang without heartbeating after this many durable cells, until killed (0 = never)")
+	token := fs.String("token", "", "campaign auth token matching the coordinator's -token")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,7 +175,7 @@ func cmdCampaignWork(args []string) error {
 	logf := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 	start := time.Now()
 	st, err := campaign.Work(ctx, *join, campaign.WorkerOptions{
-		ID: name, Workers: *workers, Poll: *poll, Logf: logf, StallAfterCells: *stall,
+		ID: name, Workers: *workers, Poll: *poll, Logf: logf, StallAfterCells: *stall, Token: *token,
 	})
 	if err != nil {
 		return err

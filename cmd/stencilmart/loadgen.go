@@ -114,10 +114,19 @@ func cmdLoadgen(args []string) error {
 				t0 := time.Now()
 				resp, err := client.Post(predictURL, "application/json", strings.NewReader(body))
 				if err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
+					// Read the body in full and require parseable JSON: a
+					// connection reset or truncated response mid-body (the
+					// chaos drill injects both) must count as a failure, not
+					// a silently discarded success.
+					data, rerr := io.ReadAll(resp.Body)
 					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
+					switch {
+					case rerr != nil:
+						err = fmt.Errorf("reading response for %s: %w", body, rerr)
+					case resp.StatusCode != http.StatusOK:
 						err = fmt.Errorf("status %d for %s", resp.StatusCode, body)
+					case !json.Valid(data):
+						err = fmt.Errorf("invalid JSON response for %s", body)
 					}
 				}
 				latencies[k], errs[k] = time.Since(t0), err

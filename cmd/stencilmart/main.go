@@ -337,6 +337,10 @@ func cmdServe(args []string) error {
 	batchWindow := fs.Duration("batch-window", serve.DefaultBatchWindow, "how long a batch waits for more requests after its first (negative = no waiting)")
 	batchSize := fs.Int("batch-size", serve.DefaultBatchSize, "max requests coalesced into one model call (1 = serial baseline)")
 	laneName := fs.String("lane", "f64", "default inference lane (f32, f64); requests override with ?lane=")
+	breakerThreshold := fs.Int("breaker-threshold", serve.DefaultBreakerThreshold, "consecutive scoring failures that trip a (version, lane) circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "how long a tripped breaker stays open before a half-open probe")
+	chaos := fs.Bool("chaos", false, "inject deterministic HTTP and scoring faults (latency spikes, connection resets, truncated bodies, scoring panics) — a resilience drill, never for production")
+	chaosSeed := fs.Int64("chaos-seed", 7, "chaos fault-injection seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -348,13 +352,22 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.NewWithOptions(fw, serve.Options{
-		Timeout:     *timeout,
-		MaxInFlight: *maxInFlight,
-		BatchWindow: *batchWindow,
-		BatchSize:   *batchSize,
-		Lane:        lane,
-	})
+	opts := serve.Options{
+		Timeout:          *timeout,
+		MaxInFlight:      *maxInFlight,
+		BatchWindow:      *batchWindow,
+		BatchSize:        *batchSize,
+		Lane:             lane,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	}
+	if *chaos {
+		inj := fault.NewHTTPInjector(fault.DefaultHTTPConfig(*chaosSeed))
+		opts.ScoreFaults = inj
+		opts.Middleware = inj.Middleware
+		fmt.Printf("chaos drill armed: seed %d (latency spikes, resets, truncation, scoring panics)\n", *chaosSeed)
+	}
+	srv, err := serve.NewWithOptions(fw, opts)
 	if err != nil {
 		return err
 	}

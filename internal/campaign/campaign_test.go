@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -320,5 +321,72 @@ func TestCampaignRejectsForeignDirectory(t *testing.T) {
 	foreign.Seed = 999
 	if _, err := campaign.NewCoordinator(foreign, campaign.Options{Dir: dir}); !errors.Is(err, profile.ErrJournalMismatch) {
 		t.Fatalf("foreign coordinator returned %v, want ErrJournalMismatch", err)
+	}
+}
+
+// TestCampaignAuthToken: with a coordinator token set, tokenless and
+// wrong-token workers are refused with 401 on the mutating endpoints
+// (counted on /statsz), while tokened workers run the campaign to the
+// same bytes as ever.
+func TestCampaignAuthToken(t *testing.T) {
+	spec := campaignSpec(t)
+	want := serialBytes(t, spec)
+	dir := t.TempDir()
+	const token = "swordfish"
+	c, err := campaign.NewCoordinator(spec, campaign.Options{
+		Shards: 4, Lease: time.Minute, Dir: dir, Token: token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// A tokenless worker and a wrong-token worker both die on their first
+	// lease call with a 401.
+	for _, w := range []campaign.WorkerOptions{
+		{ID: "gatecrasher", Workers: 1},
+		{ID: "mistyped", Workers: 1, Token: "sw0rdfish"},
+	} {
+		_, err := campaign.Work(context.Background(), srv.URL, w)
+		if err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("worker %s without valid token: err = %v, want 401", w.ID, err)
+		}
+	}
+	// The read-only spec endpoint stays open: both rejects got past it,
+	// so exactly two unauthorized requests were counted.
+	if got := c.Stats().Unauthorized; got != 2 {
+		t.Fatalf("unauthorized count %d, want 2", got)
+	}
+
+	// Tokened workers complete the campaign, and the merge still matches
+	// the serial reference bitwise.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = campaign.Work(context.Background(), srv.URL, campaign.WorkerOptions{
+				ID: fmt.Sprintf("authed%d", i), Workers: 2, Poll: 5 * time.Millisecond, Token: token,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("authed worker %d: %v", i, err)
+		}
+	}
+	if !c.Done() {
+		t.Fatal("campaign not done after authed workers finished")
+	}
+	ds, _, err := c.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.AssertSameBytes(t, "authed campaign merge", want, testutil.DatasetJSON(t, ds))
+	if got := c.Stats().Unauthorized; got != 2 {
+		t.Fatalf("unauthorized count drifted to %d during the authed run", got)
 	}
 }

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,10 +11,14 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stencilmart/internal/profile"
 )
+
+// TokenHeader carries a worker's campaign auth token.
+const TokenHeader = "X-Campaign-Token"
 
 // Options tunes a coordinator.
 type Options struct {
@@ -33,6 +38,11 @@ type Options struct {
 	// OnListen, when set, receives the bound address once Serve is
 	// accepting requests (used to publish the join URL).
 	OnListen func(addr string)
+	// Token, when non-empty, gates the mutating endpoints (/lease,
+	// /heartbeat, /complete): workers must send it in the TokenHeader
+	// header or get 401. The read-only endpoints (/spec, /statsz) stay
+	// open. Empty disables auth — the single-machine default.
+	Token string
 }
 
 // shardState is a shard's lease lifecycle.
@@ -90,6 +100,7 @@ type Coordinator struct {
 	workers      map[string]*workerInfo
 	preCovered   int // cells already durable when the campaign started
 	redispatches int
+	unauthorized atomic.Uint64
 	doneOnce     sync.Once
 	doneCh       chan struct{}
 }
@@ -214,11 +225,26 @@ func (c *Coordinator) Merge() (*profile.Dataset, profile.MergeStats, error) {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/spec", c.handleSpec)
-	mux.HandleFunc("/lease", c.handleLease)
-	mux.HandleFunc("/heartbeat", c.handleHeartbeat)
-	mux.HandleFunc("/complete", c.handleComplete)
+	mux.HandleFunc("/lease", c.authed(c.handleLease))
+	mux.HandleFunc("/heartbeat", c.authed(c.handleHeartbeat))
+	mux.HandleFunc("/complete", c.authed(c.handleComplete))
 	mux.HandleFunc("/statsz", c.handleStatsz)
 	return mux
+}
+
+// authed gates a mutating endpoint behind the campaign token. The
+// comparison is constant-time so the token cannot be guessed
+// byte-by-byte off response timing.
+func (c *Coordinator) authed(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.opts.Token != "" &&
+			subtle.ConstantTimeCompare([]byte(r.Header.Get(TokenHeader)), []byte(c.opts.Token)) != 1 {
+			c.unauthorized.Add(1)
+			writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing or invalid campaign token"})
+			return
+		}
+		next(w, r)
+	}
 }
 
 func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
@@ -390,6 +416,7 @@ type StatsSnapshot struct {
 	Cells        int                       `json:"cells"`
 	Covered      int                       `json:"covered_at_start"`
 	Redispatches int                       `json:"redispatches"`
+	Unauthorized uint64                    `json:"unauthorized"`
 	Done         bool                      `json:"done"`
 	Shards       []ShardSnapshot           `json:"shards"`
 	Workers      map[string]WorkerSnapshot `json:"workers"`
@@ -403,6 +430,7 @@ func (c *Coordinator) Stats() StatsSnapshot {
 		Cells:        c.spec.Cells(),
 		Covered:      c.preCovered,
 		Redispatches: c.redispatches,
+		Unauthorized: c.unauthorized.Load(),
 		Done:         c.Done(),
 		Workers:      make(map[string]WorkerSnapshot, len(c.workers)),
 	}

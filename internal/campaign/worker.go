@@ -34,6 +34,9 @@ type WorkerOptions struct {
 	// cells the worker logs, stops heartbeating, and hangs until killed
 	// from outside — the lease must expire and re-dispatch. 0 disables.
 	StallAfterCells int
+	// Token is sent in the TokenHeader header on every request; it must
+	// match the coordinator's token when one is set.
+	Token string
 }
 
 // WorkStats summarizes one worker's campaign contribution.
@@ -73,7 +76,7 @@ func Work(ctx context.Context, coordURL string, opts WorkerOptions) (WorkStats, 
 	coordURL = strings.TrimSuffix(coordURL, "/")
 
 	var spec Spec
-	if err := getJSON(ctx, opts.Client, coordURL+"/spec", &spec); err != nil {
+	if err := getJSON(ctx, opts.Client, coordURL+"/spec", opts.Token, &spec); err != nil {
 		return stats, fmt.Errorf("campaign: fetching spec: %w", err)
 	}
 	if err := spec.Validate(); err != nil {
@@ -88,7 +91,7 @@ func Work(ctx context.Context, coordURL string, opts WorkerOptions) (WorkStats, 
 			return stats, err
 		}
 		var lease LeaseResponse
-		err := postJSON(ctx, opts.Client, coordURL+"/lease", leaseRequest{Worker: opts.ID}, &lease)
+		err := postJSON(ctx, opts.Client, coordURL+"/lease", opts.Token, leaseRequest{Worker: opts.ID}, &lease)
 		if err != nil {
 			if stats.Shards > 0 && isConnectionError(err) {
 				// The coordinator merged and exited while we polled; the
@@ -146,7 +149,7 @@ func workShard(ctx context.Context, opts WorkerOptions, prof *profile.Profiler, 
 		}
 		n := int(cellsDone.Add(1))
 		var hb heartbeatResponse
-		hbErr := postJSON(ctx, opts.Client, coordURL+"/heartbeat", heartbeatRequest{
+		hbErr := postJSON(ctx, opts.Client, coordURL+"/heartbeat", opts.Token, heartbeatRequest{
 			Worker: opts.ID, Shard: lease.Shard, Attempt: lease.Attempt,
 			CellsDone: n, Faults: prof.FaultsAbsorbed(),
 		}, &hb)
@@ -167,7 +170,7 @@ func workShard(ctx context.Context, opts WorkerOptions, prof *profile.Profiler, 
 		}
 		return false, st, err
 	}
-	if err := postJSON(ctx, opts.Client, coordURL+"/complete", completeRequest{
+	if err := postJSON(ctx, opts.Client, coordURL+"/complete", opts.Token, completeRequest{
 		Worker: opts.ID, Shard: lease.Shard, Attempt: lease.Attempt,
 		Faults: prof.FaultsAbsorbed(),
 	}, &struct{}{}); err != nil {
@@ -181,17 +184,21 @@ type shardWork struct {
 	Measured, Resumed int
 }
 
-// getJSON GETs url into out.
-func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+// getJSON GETs url into out, attaching the campaign token when set.
+func getJSON(ctx context.Context, client *http.Client, url, token string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
+	if token != "" {
+		req.Header.Set(TokenHeader, token)
+	}
 	return doJSON(client, req, out)
 }
 
-// postJSON POSTs body to url and decodes the response into out.
-func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+// postJSON POSTs body to url and decodes the response into out,
+// attaching the campaign token when set.
+func postJSON(ctx context.Context, client *http.Client, url, token string, body, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -201,6 +208,9 @@ func postJSON(ctx context.Context, client *http.Client, url string, body, out an
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set(TokenHeader, token)
+	}
 	return doJSON(client, req, out)
 }
 

@@ -44,10 +44,20 @@ type ServeOutcome struct {
 // ServePredict once per request — the serving tier's differential tests
 // hold this invariant.
 //
+// The context carries the batch's deadline (the earliest deadline among
+// the coalesced requests): each pipeline stage checks it at entry, and
+// tuning — the simulator-bound stage — observes it mid-flight, so an
+// expired batch fails its remaining items with the context error instead
+// of burning simulator time nobody will wait for. A nil or
+// never-expiring context reproduces the unbounded behavior exactly.
+//
 // Like ServePredict, the method is not safe for concurrent use on one
 // framework (nn models reuse forward scratch); the serving layer
 // serializes batch calls through a single lane.
-func (f *Framework) ServePredictBatch(reqs []ServeRequest) []ServeOutcome {
+func (f *Framework) ServePredictBatch(ctx context.Context, reqs []ServeRequest) []ServeOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	outs := make([]ServeOutcome, len(reqs))
 	if len(reqs) == 0 {
 		return outs
@@ -83,9 +93,17 @@ func (f *Framework) ServePredictBatch(reqs []ServeRequest) []ServeOutcome {
 		primaries = append(primaries, it)
 	}
 
-	f.classifyServeItems(tr, primaries)
-	f.tuneServeItems(primaries)
-	f.regressServeItems(primaries)
+	if err := ctx.Err(); err != nil {
+		failLive(primaries, err)
+	} else {
+		f.classifyServeItems(tr, primaries)
+		f.tuneServeItems(ctx, primaries)
+		if err := ctx.Err(); err != nil {
+			failLive(primaries, err)
+		} else {
+			f.regressServeItems(primaries)
+		}
+	}
 
 	for _, it := range live(primaries) {
 		outs[it.idx] = ServeOutcome{Prediction: it.assemble(f)}
@@ -133,10 +151,21 @@ type serveItem struct {
 	proba  []float64
 	oc     opt.Opt
 	tuned  tuner.Result
-	times  []float64
+	// tunedDone marks that the tuning worker actually ran for this item;
+	// after a context-cancelled tune pass it separates items with real
+	// results from items the pool never dispatched.
+	tunedDone bool
+	times     []float64
 }
 
 func (it *serveItem) fail(err error) { it.out.Err = err }
+
+// failLive records err on every item that has not already failed.
+func failLive(items []*serveItem, err error) {
+	for _, it := range live(items) {
+		it.fail(err)
+	}
+}
 
 // live filters the items that have not failed yet.
 func live(items []*serveItem) []*serveItem {
@@ -261,14 +290,18 @@ func safeProbaRow(cls ml.Classifier, row []float64) (proba []float64, err error)
 // The simulator layer is concurrency-safe (memoized behind a lock) and
 // each item's tuning seed derives from its request, so parallel tuning
 // returns exactly what serial tuning would. Errors land in item slots;
-// the worker fn never fails, so ForEach runs every item.
-func (f *Framework) tuneServeItems(items []*serveItem) {
+// the worker fn never fails, so with a live context ForEach runs every
+// item. A context that expires mid-pass stops dispatch (in-flight items
+// finish and keep their results); items the pool never reached fail with
+// the context error.
+func (f *Framework) tuneServeItems(ctx context.Context, items []*serveItem) {
 	todo := live(items)
 	if len(todo) == 0 {
 		return
 	}
-	_ = par.ForEach(context.Background(), len(todo), 0, func(i int) error {
+	_ = par.ForEach(ctx, len(todo), 0, func(i int) error {
 		it := todo[i]
+		it.tunedDone = true
 		defer func() {
 			if v := recover(); v != nil {
 				it.fail(fmt.Errorf("core: tuning panicked: %v", v))
@@ -282,6 +315,13 @@ func (f *Framework) tuneServeItems(items []*serveItem) {
 		it.oc, it.tuned = oc, res
 		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		for _, it := range todo {
+			if it.out.Err == nil && !it.tunedDone {
+				it.fail(err)
+			}
+		}
+	}
 }
 
 // regressServeItems predicts cross-GPU times with one batched regressor

@@ -84,7 +84,7 @@ func TestServePredictBatchMatchesSerial(t *testing.T) {
 			for _, procs := range []int{1, 4} {
 				t.Run(map[int]string{1: "GOMAXPROCS1", 4: "GOMAXPROCS4"}[procs], func(t *testing.T) {
 					testutil.WithGOMAXPROCS(t, procs, func() {
-						outs := fw.ServePredictBatch(reqs)
+						outs := fw.ServePredictBatch(context.Background(), reqs)
 						assertBatchMatchesSerial(t, fw, reqs, outs)
 					})
 				})
@@ -98,11 +98,11 @@ func TestServePredictBatchEmptyAndUntrained(t *testing.T) {
 	if err := fw.TrainAll(context.Background(), ClassGBDT, RegGB); err != nil {
 		t.Fatal(err)
 	}
-	if outs := fw.ServePredictBatch(nil); len(outs) != 0 {
+	if outs := fw.ServePredictBatch(context.Background(), nil); len(outs) != 0 {
 		t.Fatalf("nil batch gave %d outcomes", len(outs))
 	}
 	bare := &Framework{}
-	outs := bare.ServePredictBatch([]ServeRequest{{GPU: "x", Stencil: stencil.Star(2, 1)}})
+	outs := bare.ServePredictBatch(context.Background(), []ServeRequest{{GPU: "x", Stencil: stencil.Star(2, 1)}})
 	if len(outs) != 1 || outs[0].Err == nil ||
 		!strings.Contains(outs[0].Err.Error(), "no trained models") {
 		t.Fatalf("untrained batch gave %+v", outs)
@@ -182,7 +182,7 @@ func TestServePredictBatchIsolatesPoisonedRow(t *testing.T) {
 	}
 	defer func() { fw.Trained.Classifiers[gpuName][2] = real }()
 
-	outs := fw.ServePredictBatch([]ServeRequest{
+	outs := fw.ServePredictBatch(context.Background(), []ServeRequest{
 		{GPU: gpuName, Stencil: good1},
 		{GPU: gpuName, Stencil: poisoned},
 		{GPU: gpuName, Stencil: good2},
@@ -248,7 +248,7 @@ func TestServePredictBatchRegressionFallback(t *testing.T) {
 	reg.model = &panickyRegressor{inner: realModel, rowsCap: len(fw.Dataset.Archs)}
 	defer func() { reg.model = realModel }()
 
-	outs := fw.ServePredictBatch(reqs)
+	outs := fw.ServePredictBatch(context.Background(), reqs)
 	for i := range reqs {
 		if outs[i].Err != nil {
 			t.Fatalf("req %d failed under fallback: %v", i, outs[i].Err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"stencilmart/internal/ml"
@@ -18,11 +19,17 @@ import (
 // marshals them after this call returns). Tuning is lane-independent
 // (simulator-bound, float64) and shared with the reference pipeline.
 //
+// The context carries the batch deadline with the same stage-boundary
+// and mid-tune semantics as the f64 lane (see ServePredictBatch).
+//
 // A nil arena gets a private one, trading the reuse away for
 // convenience. Like the f64 lane, the method is not safe for concurrent
 // use on one framework; the serving layer serializes batch calls
 // through a single lane per arena.
-func (f *Framework) ServePredictBatchF32(reqs []ServeRequest, arena *ServeArena) []ServeOutcome {
+func (f *Framework) ServePredictBatchF32(ctx context.Context, reqs []ServeRequest, arena *ServeArena) []ServeOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	outs := make([]ServeOutcome, len(reqs))
 	if len(reqs) == 0 {
 		return outs
@@ -67,9 +74,17 @@ func (f *Framework) ServePredictBatchF32(reqs []ServeRequest, arena *ServeArena)
 		primaries = append(primaries, it)
 	}
 
-	f.classifyServeItemsF32(ct, primaries, arena)
-	f.tuneServeItems(primaries)
-	f.regressServeItemsF32(primaries, arena)
+	if err := ctx.Err(); err != nil {
+		failLive(primaries, err)
+	} else {
+		f.classifyServeItemsF32(ct, primaries, arena)
+		f.tuneServeItems(ctx, primaries)
+		if err := ctx.Err(); err != nil {
+			failLive(primaries, err)
+		} else {
+			f.regressServeItemsF32(primaries, arena)
+		}
+	}
 
 	for _, it := range live(primaries) {
 		outs[it.idx] = ServeOutcome{Prediction: it.assemble(f)}

@@ -142,9 +142,9 @@ func TestServeLaneDifferential(t *testing.T) {
 				t.Fatal(err)
 			}
 			reqs := batchRequests(fw)
-			refs := fw.ServePredictBatch(reqs)
+			refs := fw.ServePredictBatch(context.Background(), reqs)
 			arena := NewServeArena()
-			outs := fw.ServePredictBatchF32(reqs, arena)
+			outs := fw.ServePredictBatchF32(context.Background(), reqs, arena)
 			if len(outs) != len(reqs) {
 				t.Fatalf("%d outcomes for %d requests", len(outs), len(reqs))
 			}
@@ -184,13 +184,13 @@ func TestServeLaneF32Stable(t *testing.T) {
 	}
 	var ref []byte
 	testutil.WithGOMAXPROCS(t, 1, func() {
-		ref = marshal(fw.ServePredictBatchF32(reqs, arena))
+		ref = marshal(fw.ServePredictBatchF32(context.Background(), reqs, arena))
 	})
 	testutil.WithGOMAXPROCS(t, 1, func() {
-		testutil.AssertSameBytes(t, "warm arena rerun", ref, marshal(fw.ServePredictBatchF32(reqs, arena)))
+		testutil.AssertSameBytes(t, "warm arena rerun", ref, marshal(fw.ServePredictBatchF32(context.Background(), reqs, arena)))
 	})
 	testutil.WithGOMAXPROCS(t, 4, func() {
-		testutil.AssertSameBytes(t, "GOMAXPROCS=4", ref, marshal(fw.ServePredictBatchF32(reqs, nil)))
+		testutil.AssertSameBytes(t, "GOMAXPROCS=4", ref, marshal(fw.ServePredictBatchF32(context.Background(), reqs, nil)))
 	})
 }
 
@@ -208,18 +208,18 @@ func TestServeLaneF32DedupAndUntrained(t *testing.T) {
 		{GPU: name, Stencil: probe},
 		{GPU: name, Stencil: probe},
 	}
-	outs := fw.ServePredictBatchF32(reqs, nil)
+	outs := fw.ServePredictBatchF32(context.Background(), reqs, nil)
 	if outs[0].Err != nil || outs[1].Err != nil {
 		t.Fatalf("dedup batch failed: %v / %v", outs[0].Err, outs[1].Err)
 	}
 	if outs[0].Prediction != outs[1].Prediction {
 		t.Error("duplicate should share its primary's prediction")
 	}
-	if outs := fw.ServePredictBatchF32(nil, nil); len(outs) != 0 {
+	if outs := fw.ServePredictBatchF32(context.Background(), nil, nil); len(outs) != 0 {
 		t.Fatalf("nil batch gave %d outcomes", len(outs))
 	}
 	bare := &Framework{}
-	bad := bare.ServePredictBatchF32(reqs, nil)
+	bad := bare.ServePredictBatchF32(context.Background(), reqs, nil)
 	if bad[0].Err == nil || bad[1].Err == nil {
 		t.Error("untrained framework must fail every slot")
 	}
@@ -363,8 +363,8 @@ func FuzzLaneDifferential(f *testing.F) {
 			t.Skip() // not an admissible stencil; both lanes reject at Validate
 		}
 		req := ServeRequest{GPU: name, Stencil: s}
-		ref := fw.ServePredictBatch([]ServeRequest{req})[0]
-		got := fw.ServePredictBatchF32([]ServeRequest{req}, arena)[0]
+		ref := fw.ServePredictBatch(context.Background(), []ServeRequest{req})[0]
+		got := fw.ServePredictBatchF32(context.Background(), []ServeRequest{req}, arena)[0]
 		assertLaneOutcome(t, s.String(), ref, got)
 	})
 }

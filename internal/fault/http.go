@@ -1,0 +1,359 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPConfig sets the serving-tier chaos rates. The middleware faults are
+// drawn per (seed, site, attempt) exactly like the sim injector — a site
+// is the hash of one request's method, path, and body, so a client
+// retrying the same request walks a deterministic attempt sequence — and
+// a per-site budget guarantees bounded retries always reach a clean
+// response. The scoring-path faults are a separate deterministic burst:
+// per scoring site (a "lane/version" string), calls ScorePanicAfter
+// through ScorePanicAfter+ScorePanicBurst-1 panic, which is exactly the
+// shape that drills a consecutive-failure circuit breaker.
+type HTTPConfig struct {
+	// Seed drives every middleware injection decision.
+	Seed int64 `json:"seed"`
+	// LatencyRate is the probability an attempt is delayed by
+	// LatencySpike before being served normally.
+	LatencyRate float64 `json:"latency_rate"`
+	// LatencySpike is the injected delay; <= 0 selects
+	// DefaultLatencySpike.
+	LatencySpike time.Duration `json:"latency_spike,omitempty"`
+	// ResetRate is the probability the connection is reset before any
+	// response bytes are written (the client sees a closed connection).
+	ResetRate float64 `json:"reset_rate"`
+	// TruncateRate is the probability the response body is cut off after
+	// TruncateBytes and the connection aborted mid-stream.
+	TruncateRate float64 `json:"truncate_rate"`
+	// TruncateBytes is how much of the body a truncated response keeps;
+	// <= 0 selects DefaultTruncateBytes.
+	TruncateBytes int `json:"truncate_bytes,omitempty"`
+	// MaxFaultsPerSite caps middleware faults per request site; <= 0
+	// selects DefaultMaxHTTPFaultsPerSite.
+	MaxFaultsPerSite int `json:"max_faults_per_site,omitempty"`
+	// ScorePanicAfter and ScorePanicBurst shape the scoring-path drill:
+	// per scoring site, the burst of ScorePanicBurst consecutive calls
+	// starting at call number ScorePanicAfter (0-based) panics. A zero
+	// burst disables scoring faults.
+	ScorePanicAfter int `json:"score_panic_after,omitempty"`
+	ScorePanicBurst int `json:"score_panic_burst,omitempty"`
+	// ScorePanicSite, when non-empty, restricts the burst to one scoring
+	// site ("lane/version"), so a drill tripping the f32 lane leaves its
+	// f64 fallback path clean. Empty targets every site independently.
+	ScorePanicSite string `json:"score_panic_site,omitempty"`
+}
+
+// DefaultLatencySpike is the injected latency delay.
+const DefaultLatencySpike = 20 * time.Millisecond
+
+// DefaultTruncateBytes keeps less than any /predict response body, so a
+// truncated response is always detectable as invalid JSON or a read
+// error.
+const DefaultTruncateBytes = 20
+
+// DefaultMaxHTTPFaultsPerSite keeps every request site recoverable
+// within three attempts.
+const DefaultMaxHTTPFaultsPerSite = 2
+
+// DefaultHTTPConfig is the serve-chaos drill: ≥10% connection-level
+// faults plus a scoring-panic burst sized to trip a default-threshold
+// breaker (DefaultBreakerThreshold consecutive failures) and then let a
+// half-open probe observe recovery.
+func DefaultHTTPConfig(seed int64) HTTPConfig {
+	return HTTPConfig{
+		Seed:            seed,
+		LatencyRate:     0.05,
+		ResetRate:       0.04,
+		TruncateRate:    0.04,
+		ScorePanicAfter: 4,
+		ScorePanicBurst: 3,
+		// Target the f32 lane of the first published version: the
+		// standard chaos drill serves one checkpoint with -lane f32, so
+		// the sick lane has the same version's f64 path as a clean
+		// fallback.
+		ScorePanicSite: "f32/v1",
+	}
+}
+
+func (c HTTPConfig) latencySpike() time.Duration {
+	if c.LatencySpike > 0 {
+		return c.LatencySpike
+	}
+	return DefaultLatencySpike
+}
+
+func (c HTTPConfig) truncateBytes() int {
+	if c.TruncateBytes > 0 {
+		return c.TruncateBytes
+	}
+	return DefaultTruncateBytes
+}
+
+func (c HTTPConfig) budget() int {
+	if c.MaxFaultsPerSite > 0 {
+		return c.MaxFaultsPerSite
+	}
+	return DefaultMaxHTTPFaultsPerSite
+}
+
+// Validate checks the rates form a proper sub-distribution and the burst
+// shape is sane.
+func (c HTTPConfig) Validate() error {
+	total := 0.0
+	for _, r := range []float64{c.LatencyRate, c.ResetRate, c.TruncateRate} {
+		if r < 0 || r >= 1 || math.IsNaN(r) {
+			return fmt.Errorf("fault: http rate %v outside [0, 1)", r)
+		}
+		total += r
+	}
+	if total >= 1 {
+		return fmt.Errorf("fault: http rates sum to %v >= 1", total)
+	}
+	if c.ScorePanicAfter < 0 || c.ScorePanicBurst < 0 {
+		return fmt.Errorf("fault: negative score-panic shape (%d, %d)", c.ScorePanicAfter, c.ScorePanicBurst)
+	}
+	return nil
+}
+
+// HTTPStats counts injected serving faults, read with HTTPInjector.Stats.
+type HTTPStats struct {
+	Requests    uint64 `json:"requests"`
+	Sites       uint64 `json:"sites"`
+	Latencies   uint64 `json:"latencies"`
+	Resets      uint64 `json:"resets"`
+	Truncates   uint64 `json:"truncates"`
+	ScorePanics uint64 `json:"score_panics"`
+}
+
+// Total returns the number of injected faults of every class.
+func (s HTTPStats) Total() uint64 {
+	return s.Latencies + s.Resets + s.Truncates + s.ScorePanics
+}
+
+// HTTPInjector is the serving tier's chaos source: an HTTP middleware
+// injecting connection-level faults, plus the scoring-path panic hook the
+// serve package consults (serve.ScorePanicker). Safe for concurrent use;
+// determinism holds per site because a client retries one request
+// sequentially.
+type HTTPInjector struct {
+	cfg HTTPConfig
+
+	mu         sync.Mutex
+	sites      map[uint64]*siteState
+	scoreSites map[string]int
+
+	requests, latencies, resets, truncates, scorePanics atomic.Uint64
+}
+
+// NewHTTPInjector builds an injector, panicking on an invalid config —
+// like the sim injector, it only exists in tests and chaos drills where a
+// bad configuration is a programming error.
+func NewHTTPInjector(cfg HTTPConfig) *HTTPInjector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &HTTPInjector{
+		cfg:        cfg,
+		sites:      make(map[uint64]*siteState),
+		scoreSites: make(map[string]int),
+	}
+}
+
+// Stats snapshots the injection counters.
+func (in *HTTPInjector) Stats() HTTPStats {
+	in.mu.Lock()
+	sites := uint64(len(in.sites))
+	in.mu.Unlock()
+	return HTTPStats{
+		Requests:    in.requests.Load(),
+		Sites:       sites,
+		Latencies:   in.latencies.Load(),
+		Resets:      in.resets.Load(),
+		Truncates:   in.truncates.Load(),
+		ScorePanics: in.scorePanics.Load(),
+	}
+}
+
+// httpOutcome is one request attempt's injected fault class.
+type httpOutcome int
+
+const (
+	httpOK httpOutcome = iota
+	injectLatency
+	injectReset
+	injectTruncate
+)
+
+// siteOf canonicalizes a request's identity — method, path, and body —
+// into a site ID. The body is consumed and restored, so the wrapped
+// handler reads it untouched.
+func (in *HTTPInjector) siteOf(r *http.Request) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, r.Method)
+	h.Write([]byte{0})
+	io.WriteString(h, r.URL.Path)
+	h.Write([]byte{0})
+	if r.Body != nil && r.Body != http.NoBody {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		r.Body.Close()
+		h.Write(body)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return h.Sum64()
+}
+
+// beginHTTP records one attempt at the site and returns the attempt
+// number and whether the budget still has room; spendHTTP consumes one
+// unit of it.
+func (in *HTTPInjector) beginHTTP(site uint64) (attempt int, budgetLeft bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.sites[site]
+	if st == nil {
+		st = &siteState{}
+		in.sites[site] = st
+	}
+	attempt = st.attempt
+	st.attempt++
+	return attempt, st.faults < in.cfg.budget()
+}
+
+func (in *HTTPInjector) spendHTTP(site uint64) {
+	in.mu.Lock()
+	in.sites[site].faults++
+	in.mu.Unlock()
+}
+
+// decideHTTP maps (seed, site, attempt) to a fault class, drawing and
+// partitioning exactly like the sim injector.
+func (in *HTTPInjector) decideHTTP(site uint64, attempt int) httpOutcome {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(in.cfg.Seed))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], site)
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	u := float64(h.Sum64()>>11) / (1 << 53)
+
+	c := in.cfg
+	for _, class := range []struct {
+		rate float64
+		out  httpOutcome
+	}{
+		{c.LatencyRate, injectLatency},
+		{c.ResetRate, injectReset},
+		{c.TruncateRate, injectTruncate},
+	} {
+		if u < class.rate {
+			return class.out
+		}
+		u -= class.rate
+	}
+	return httpOK
+}
+
+// Middleware wraps next with connection-level chaos. It must sit outside
+// any panic-recovery layer: resets and truncations abort the connection
+// by panicking with http.ErrAbortHandler, which net/http treats as a
+// deliberate quiet abort — converting it to a 500 would turn "connection
+// died" into "server answered", which is not the failure being drilled.
+func (in *HTTPInjector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		in.requests.Add(1)
+		site := in.siteOf(r)
+		attempt, budgetLeft := in.beginHTTP(site)
+		out := httpOK
+		if budgetLeft {
+			out = in.decideHTTP(site, attempt)
+		}
+		switch out {
+		case injectLatency:
+			in.spendHTTP(site)
+			in.latencies.Add(1)
+			time.Sleep(in.cfg.latencySpike())
+			next.ServeHTTP(w, r)
+		case injectReset:
+			in.spendHTTP(site)
+			in.resets.Add(1)
+			panic(http.ErrAbortHandler)
+		case injectTruncate:
+			in.spendHTTP(site)
+			in.truncates.Add(1)
+			tw := &truncatingWriter{ResponseWriter: w, keep: in.cfg.truncateBytes()}
+			next.ServeHTTP(tw, r)
+			tw.flush()
+			panic(http.ErrAbortHandler)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// ScorePanic implements the serve package's scoring-fault hook: per
+// site, the configured burst of consecutive calls answers true (panic),
+// everything else false. The call ordinal — not the wall clock — indexes
+// the burst, so breaker trips and recoveries replay identically across
+// runs and GOMAXPROCS settings.
+func (in *HTTPInjector) ScorePanic(site string) bool {
+	if in.cfg.ScorePanicBurst <= 0 {
+		return false
+	}
+	if in.cfg.ScorePanicSite != "" && site != in.cfg.ScorePanicSite {
+		return false
+	}
+	in.mu.Lock()
+	n := in.scoreSites[site]
+	in.scoreSites[site] = n + 1
+	in.mu.Unlock()
+	if n >= in.cfg.ScorePanicAfter && n < in.cfg.ScorePanicAfter+in.cfg.ScorePanicBurst {
+		in.scorePanics.Add(1)
+		return true
+	}
+	return false
+}
+
+// truncatingWriter forwards the status and headers but only the first
+// keep bytes of the body; the rest is swallowed. The middleware aborts
+// the connection after the handler returns, so the client observes a
+// well-formed response head with a body that dies mid-stream.
+type truncatingWriter struct {
+	http.ResponseWriter
+	keep    int
+	written int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if room := t.keep - t.written; room < n {
+		if room > 0 {
+			t.ResponseWriter.Write(p[:room])
+			t.written = t.keep
+		}
+		// Report full writes so the wrapped handler never sees an error.
+		return n, nil
+	}
+	t.written += n
+	return t.ResponseWriter.Write(p)
+}
+
+// flush pushes the truncated prefix onto the wire before the abort, so
+// the client reliably observes the cut body rather than an empty reply.
+func (t *truncatingWriter) flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPDecideDeterminism: the fault class of (site, attempt) is a pure
+// function of the seed — two injectors with the same config agree on
+// every draw, and a different seed disagrees somewhere.
+func TestHTTPDecideDeterminism(t *testing.T) {
+	cfg := HTTPConfig{Seed: 42, LatencyRate: 0.1, ResetRate: 0.1, TruncateRate: 0.1}
+	a, b := NewHTTPInjector(cfg), NewHTTPInjector(cfg)
+	cfg.Seed = 43
+	c := NewHTTPInjector(cfg)
+	differs := false
+	for site := uint64(0); site < 10; site++ {
+		for attempt := 0; attempt < 10; attempt++ {
+			av, bv, cv := a.decideHTTP(site, attempt), b.decideHTTP(site, attempt), c.decideHTTP(site, attempt)
+			if av != bv {
+				t.Fatalf("same seed disagrees at (site %d, attempt %d): %v vs %v", site, attempt, av, bv)
+			}
+			if av != cv {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical draws on 100 attempts")
+	}
+}
+
+// TestHTTPSiteOfBodyRestored: hashing a request's site consumes the body
+// but restores it byte for byte for the wrapped handler.
+func TestHTTPSiteOfBodyRestored(t *testing.T) {
+	in := NewHTTPInjector(HTTPConfig{Seed: 1})
+	const body = `{"stencil":"star2d1r","gpu":"V100"}`
+	r := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+	s1 := in.siteOf(r)
+	got, err := io.ReadAll(r.Body)
+	if err != nil || string(got) != body {
+		t.Fatalf("body after siteOf = %q, %v; want original", got, err)
+	}
+	// Same request, same site; different body, different site.
+	r2 := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+	if s2 := in.siteOf(r2); s2 != s1 {
+		t.Fatalf("identical requests hash to different sites: %x vs %x", s1, s2)
+	}
+	r3 := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body+" "))
+	if s3 := in.siteOf(r3); s3 == s1 {
+		t.Fatal("different bodies hash to the same site")
+	}
+}
+
+// TestHTTPMiddlewareFaultClasses drives a real server through the
+// middleware under aggressive rates: resets surface as transport errors,
+// truncations as cut bodies, and the injector's counters match what the
+// client observed.
+func TestHTTPMiddlewareFaultClasses(t *testing.T) {
+	const body = `{"ok":true,"pad":"0123456789012345678901234567890123456789"}`
+	in := NewHTTPInjector(HTTPConfig{
+		Seed: 7, LatencyRate: 0.1, ResetRate: 0.35, TruncateRate: 0.35,
+		LatencySpike: time.Millisecond, MaxFaultsPerSite: 1 << 30,
+	})
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var clean, broken int
+	for i := 0; i < 40; i++ {
+		resp, err := srv.Client().Post(srv.URL+"/predict", "application/json", strings.NewReader(`{"q":1}`))
+		if err != nil {
+			broken++
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || string(data) != body {
+			broken++
+			continue
+		}
+		clean++
+	}
+	st := in.Stats()
+	if st.Requests != 40 {
+		t.Fatalf("injector saw %d requests, want 40", st.Requests)
+	}
+	if st.Resets == 0 || st.Truncates == 0 || st.Latencies == 0 {
+		t.Fatalf("stats %+v: expected every middleware fault class to fire at these rates", st)
+	}
+	if uint64(broken) != st.Resets+st.Truncates {
+		t.Fatalf("client observed %d broken responses, injector says %d resets + %d truncates",
+			broken, st.Resets, st.Truncates)
+	}
+	if clean == 0 {
+		t.Fatal("no clean responses survived")
+	}
+}
+
+// TestHTTPFaultBudget: one site can only fault MaxFaultsPerSite times;
+// after the budget is spent every attempt is served clean, so a client
+// with bounded retries always recovers.
+func TestHTTPFaultBudget(t *testing.T) {
+	const body = `{"ok":true}`
+	in := NewHTTPInjector(HTTPConfig{
+		Seed: 3, ResetRate: 0.9, MaxFaultsPerSite: 2,
+	})
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var clean int
+	for i := 0; i < 30; i++ {
+		resp, err := srv.Client().Post(srv.URL+"/predict", "application/json", strings.NewReader(`{"q":1}`))
+		if err != nil {
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && string(data) == body {
+			clean++
+		}
+	}
+	st := in.Stats()
+	if got := st.Total(); got != 2 {
+		t.Fatalf("injected %d faults at one site, want exactly the budget of 2", got)
+	}
+	if clean != 28 {
+		t.Fatalf("%d clean responses, want 28 (30 attempts - 2 budgeted faults)", clean)
+	}
+}
+
+// TestScorePanicBurst: the scoring-path drill panics exactly the
+// configured window of consecutive calls per site, independently across
+// sites.
+func TestScorePanicBurst(t *testing.T) {
+	in := NewHTTPInjector(HTTPConfig{Seed: 1, ScorePanicAfter: 2, ScorePanicBurst: 3})
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i, w := range want {
+		if got := in.ScorePanic("f32/v1"); got != w {
+			t.Fatalf("f32/v1 call %d: panic=%v, want %v", i, got, w)
+		}
+	}
+	// A different site has its own ordinal sequence.
+	if in.ScorePanic("f64/v1") {
+		t.Fatal("fresh site panicked on call 0")
+	}
+	if st := in.Stats(); st.ScorePanics != 3 {
+		t.Fatalf("score panics %d, want 3", st.ScorePanics)
+	}
+	// Burst disabled entirely.
+	off := NewHTTPInjector(HTTPConfig{Seed: 1})
+	for i := 0; i < 10; i++ {
+		if off.ScorePanic("f32/v1") {
+			t.Fatal("zero-burst injector panicked")
+		}
+	}
+}

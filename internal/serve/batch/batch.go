@@ -155,6 +155,14 @@ func New[Q, R any](opts Options[Q], score ScoreFunc[Q, R]) *Coalescer[Q, R] {
 // is discarded), so batchmates are unaffected.
 func (c *Coalescer[Q, R]) Do(ctx context.Context, req Q) (R, error) {
 	var zero R
+	// Admission check: a request whose context is already cancelled or past
+	// its deadline must not consume a batch slot — the enqueue select below
+	// could otherwise win against the done channel and score work nobody
+	// will read.
+	if err := ctx.Err(); err != nil {
+		c.drop(req)
+		return zero, err
+	}
 	// Fail fast once closed; without this check the send below could race
 	// a concurrent Close and win the select against the closed channel.
 	select {

@@ -365,3 +365,46 @@ func TestStressManyClients(t *testing.T) {
 		t.Logf("note: no coalescing observed under stress (max batch %d)", st.MaxBatch)
 	}
 }
+
+// TestExpiredContextRejectedAtAdmission: a request whose context is
+// already cancelled or past its deadline must never reach a batch — Do
+// returns the ctx error immediately, OnDrop fires, and the scorer sees
+// nothing.
+func TestExpiredContextRejectedAtAdmission(t *testing.T) {
+	var scored atomic.Uint64
+	var dropped atomic.Uint64
+	score := func(reqs []int) []Outcome[int] {
+		scored.Add(uint64(len(reqs)))
+		return echoScore(reqs)
+	}
+	c := New(Options[int]{MaxBatch: 8, OnDrop: func(int) { dropped.Add(1) }}, score)
+	defer c.Close()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(cancelled, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := c.Do(expired, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	if got := dropped.Load(); got != 2 {
+		t.Fatalf("OnDrop fired %d times, want 2", got)
+	}
+	st := c.Stats()
+	if st.Dropped != 2 || st.Requests != 0 || st.Batches != 0 {
+		t.Fatalf("stats %+v, want 2 drops and zero scored batches", st)
+	}
+
+	// A live request through the same coalescer still works.
+	if v, err := c.Do(context.Background(), 21); err != nil || v != 42 {
+		t.Fatalf("live request got (%d, %v), want (42, nil)", v, err)
+	}
+	if scored.Load() != 1 {
+		t.Fatalf("scorer saw %d requests, want exactly the live one", scored.Load())
+	}
+}

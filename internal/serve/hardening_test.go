@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -27,7 +28,7 @@ func hardenedServer(t *testing.T, opts Options) *Server {
 // serialStub adapts a one-request prediction double to the batch predict
 // signature, preserving the old stub style of these tests.
 func serialStub(fn func(archName string, st stencil.Stencil) (*core.ServePrediction, error)) predictBatchFn {
-	return func(fw *core.Framework, reqs []core.ServeRequest) []core.ServeOutcome {
+	return func(fw *core.Framework, ctx context.Context, reqs []core.ServeRequest) []core.ServeOutcome {
 		outs := make([]core.ServeOutcome, len(reqs))
 		for i, r := range reqs {
 			p, err := fn(r.GPU, r.Stencil)

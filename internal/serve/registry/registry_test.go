@@ -3,6 +3,7 @@ package registry
 import (
 	"errors"
 	"os"
+	"runtime"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -271,5 +272,73 @@ func TestSwapUnderLoadStress(t *testing.T) {
 	}
 	if vs[0].Refs != 0 {
 		t.Fatalf("leaked %d refs after rollout", vs[0].Refs)
+	}
+}
+
+// TestRetireRacesPinnedAcquire: the breaker fallback walk pins explicit
+// versions while rollouts retire them. Hammering Acquire("v1") against a
+// concurrent Retire("v1") must never hand out a retired framework: every
+// successful acquire strictly precedes Retire's return (the held ref
+// blocks the drain), and once Retire returns the version is gone for
+// good.
+func TestRetireRacesPinnedAcquire(t *testing.T) {
+	r := New()
+	if _, err := r.Publish(trainedStub()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish(trainedStub()); err != nil { // v2 stays current
+		t.Fatal(err)
+	}
+
+	var retired atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := r.Acquire("v1")
+				if err != nil {
+					// ErrRetiring / ErrUnknownVersion are the only legal
+					// refusals once the drain begins.
+					if !errors.Is(err, ErrRetiring) && !errors.Is(err, ErrUnknownVersion) {
+						t.Errorf("acquire v1 failed with %v", err)
+					}
+					continue
+				}
+				// Success means the lease pinned v1 before the drain: Retire
+				// blocks on this ref, so it cannot have returned yet.
+				if retired.Load() {
+					t.Error("acquired v1 after Retire(v1) returned")
+				}
+				if h.Framework() == nil || h.Framework().Trained == nil {
+					t.Error("acquired handle exposes a torn framework")
+				}
+				runtime.Gosched()
+				h.Release()
+			}
+		}()
+	}
+
+	time.Sleep(2 * time.Millisecond) // let the acquirers reach steady state
+	if err := r.Retire("v1"); err != nil {
+		t.Fatalf("retire v1 under pinned load: %v", err)
+	}
+	retired.Store(true)
+	close(stop)
+	wg.Wait()
+
+	if _, err := r.Acquire("v1"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("acquire after retire gave %v, want ErrUnknownVersion", err)
+	}
+	vs := r.Versions()
+	if len(vs) != 1 || vs[0].Version != "v2" || vs[0].Refs != 0 {
+		t.Fatalf("versions after drain: %+v, want only v2 with zero refs", vs)
 	}
 }

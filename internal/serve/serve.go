@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -95,6 +96,29 @@ type Options struct {
 	// Lane is the default inference lane for requests that don't pin one
 	// with ?lane= (LaneF64 if empty).
 	Lane Lane
+	// BreakerThreshold is how many consecutive scoring failures trip a
+	// (version, lane) breaker (DefaultBreakerThreshold if 0).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe (DefaultBreakerCooldown if 0).
+	BreakerCooldown time.Duration
+	// ScoreFaults, when non-nil, is consulted before every primary
+	// scoring call; a true answer panics the call. The chaos harness
+	// (fault.HTTPInjector) plugs in here to drill breakers
+	// deterministically.
+	ScoreFaults ScorePanicker
+	// Middleware, when non-nil, wraps the fully assembled handler as the
+	// outermost layer — outside panic recovery, so connection-level chaos
+	// (http.ErrAbortHandler) reaches net/http instead of being converted
+	// to a 500.
+	Middleware func(http.Handler) http.Handler
+}
+
+// ScorePanicker injects scoring-path faults: site names a (lane, version)
+// scoring call, and a true return makes that call panic. Implemented by
+// fault.HTTPInjector; nil means no injection.
+type ScorePanicker interface {
+	ScorePanic(site string) bool
 }
 
 // endpointStats aggregates per-endpoint counters with atomics so the
@@ -104,6 +128,10 @@ type endpointStats struct {
 	errors   atomic.Uint64
 	totalNS  atomic.Int64
 	hist     latencyHist
+	// deadlineExpired counts requests answered 504 because their deadline
+	// (client-propagated or server timeout) expired before or during
+	// scoring.
+	deadlineExpired atomic.Uint64
 }
 
 func (s *endpointStats) observe(d time.Duration, failed bool) {
@@ -126,11 +154,14 @@ type EndpointSnapshot struct {
 	P99Millis float64 `json:"p99_millis"`
 	// P999Millis is the 99.9th percentile latency in milliseconds.
 	P999Millis float64 `json:"p999_millis"`
+	// DeadlineExpired counts requests rejected with 504 because their
+	// deadline expired before they could be served.
+	DeadlineExpired uint64 `json:"deadline_expired"`
 }
 
 func (s *endpointStats) snapshot() EndpointSnapshot {
 	n := s.requests.Load()
-	out := EndpointSnapshot{Requests: n, Errors: s.errors.Load()}
+	out := EndpointSnapshot{Requests: n, Errors: s.errors.Load(), DeadlineExpired: s.deadlineExpired.Load()}
 	if n > 0 {
 		out.AvgMillis = float64(s.totalNS.Load()) / float64(n) / 1e6
 		out.P50Millis = s.hist.quantileMillis(0.50)
@@ -141,28 +172,51 @@ func (s *endpointStats) snapshot() EndpointSnapshot {
 }
 
 // predictJob is one /predict request inside the coalescer: the model
-// lease it acquired at admission plus the request itself. The lease is
-// released exactly once — by scoreBatch after scoring, or by the
-// coalescer's drop hook if the job never reaches a batch.
+// lease it acquired at admission, the request itself, and the request's
+// context (carrying the propagated deadline into batch scoring). The
+// lease is released exactly once — by scoreBatch after scoring, or by
+// the coalescer's drop hook if the job never reaches a batch.
 type predictJob struct {
 	h    *registry.Handle
 	req  core.ServeRequest
 	lane Lane
+	ctx  context.Context
+}
+
+// predictResult is what a scored job hands back to its waiting handler:
+// the prediction plus where it actually came from — under breaker
+// degradation the serving lane/version differ from what the request
+// asked for, and the handler surfaces that in response headers without
+// touching the body.
+type predictResult struct {
+	pred     *core.ServePrediction
+	lane     Lane
+	version  string
+	degraded bool
 }
 
 // predictBatchFn scores one batch of requests against one framework.
-// Tests substitute doubles that block or panic.
-type predictBatchFn func(fw *core.Framework, reqs []core.ServeRequest) []core.ServeOutcome
+// Tests substitute doubles that block or panic; the default is the
+// method expression for core.(*Framework).ServePredictBatch, hence the
+// receiver-first shape.
+type predictBatchFn func(fw *core.Framework, ctx context.Context, reqs []core.ServeRequest) []core.ServeOutcome
 
 // Server serves predictions from a versioned registry of trained
 // frameworks through a request-coalescing lane.
 type Server struct {
 	fw      *core.Framework // the initially published framework (stats fallback)
 	reg     *registry.Registry
-	co      *batch.Coalescer[predictJob, *core.ServePrediction]
+	co      *batch.Coalescer[predictJob, predictResult]
 	timeout time.Duration
 	started time.Time
 	lane    Lane // default lane for requests without ?lane=
+
+	// breakers guards every (version, lane) scoring path; scoreFaults is
+	// the chaos harness's scoring-panic hook (nil in production);
+	// middleware is the optional outermost handler wrapper.
+	breakers    *breakerSet
+	scoreFaults ScorePanicker
+	middleware  func(http.Handler) http.Handler
 
 	// arena is the f32 lane's per-batch scratch. The coalescer scores
 	// batches through a single serialized lane, so one server-owned
@@ -184,6 +238,9 @@ type Server struct {
 	panics   atomic.Uint64
 	shed     atomic.Uint64
 	oversize atomic.Uint64
+	// degraded counts requests answered through a breaker fallback
+	// (different lane or version than requested).
+	degraded atomic.Uint64
 
 	// predictFn is the batch prediction step, swapped atomically because
 	// the scorer goroutine reads it while tests replace it.
@@ -234,13 +291,16 @@ func NewWithRegistry(reg *registry.Registry, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		fw:       fw,
-		reg:      reg,
-		timeout:  opts.Timeout,
-		started:  time.Now(),
-		lane:     lane,
-		arena:    core.NewServeArena(),
-		inflight: make(chan struct{}, opts.MaxInFlight),
+		fw:          fw,
+		reg:         reg,
+		timeout:     opts.Timeout,
+		started:     time.Now(),
+		lane:        lane,
+		arena:       core.NewServeArena(),
+		inflight:    make(chan struct{}, opts.MaxInFlight),
+		breakers:    newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown, nil),
+		scoreFaults: opts.ScoreFaults,
+		middleware:  opts.Middleware,
 	}
 	s.setPredict(nil)
 	s.co = batch.New(batch.Options[predictJob]{
@@ -271,87 +331,230 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 // everything; use it at process shutdown.
 func (s *Server) Close() { s.co.Close() }
 
-// scoreBatch is the coalescer's score function: jobs group by leased
-// framework and lane (a batch spanning a hot-swap scores each version's
-// requests against its own models; mixed-lane batches score each lane
-// through its own pipeline), every group scores through one batched
-// model call, and all leases release on the way out — panics included.
-func (s *Server) scoreBatch(jobs []predictJob) []batch.Outcome[*core.ServePrediction] {
-	type fwLane struct {
-		fw   *core.Framework
-		lane Lane
-	}
-	outs := make([]batch.Outcome[*core.ServePrediction], len(jobs))
-	byGroup := make(map[fwLane][]int)
-	var order []fwLane
+// errBreakerOpen is the terminal failure when a breaker reroutes a group
+// but no healthy fallback exists.
+var errBreakerOpen = errors.New("service degraded: scoring lane unavailable and no healthy fallback")
+
+// scoreBatch is the coalescer's score function. Jobs whose context
+// already expired while queueing are rejected with the context error —
+// their handlers answer 504 without a scoring call. The survivors group
+// by leased (version, lane) pair (a batch spanning a hot-swap scores
+// each version's requests against its own models; mixed-lane batches
+// score each lane through its own pipeline), every group scores through
+// one batched model call under a context carrying the earliest deadline
+// among the batch's requests, and all leases release on the way out —
+// panics included.
+func (s *Server) scoreBatch(jobs []predictJob) []batch.Outcome[predictResult] {
+	outs := make([]batch.Outcome[predictResult], len(jobs))
+	byGroup := make(map[breakerKey][]int)
+	var order []breakerKey
+	var earliest time.Time
+	haveDeadline := false
 	for i, j := range jobs {
-		key := fwLane{fw: j.h.Framework(), lane: j.lane}
+		if err := j.ctx.Err(); err != nil {
+			outs[i] = batch.Outcome[predictResult]{Err: err}
+			j.h.Release()
+			continue
+		}
+		if d, ok := j.ctx.Deadline(); ok && (!haveDeadline || d.Before(earliest)) {
+			earliest, haveDeadline = d, true
+		}
+		key := breakerKey{version: j.h.Version(), lane: j.lane}
 		if _, seen := byGroup[key]; !seen {
 			order = append(order, key)
 		}
 		byGroup[key] = append(byGroup[key], i)
 	}
+	ctx := context.Background()
+	if haveDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, earliest)
+		defer cancel()
+	}
 	for _, key := range order {
-		s.scoreGroup(key.fw, key.lane, byGroup[key], jobs, outs)
+		s.scoreGroup(ctx, key, byGroup[key], jobs, outs)
 	}
 	return outs
 }
 
-// scoreGroup scores one same-(framework, lane) slice of a batch. The
-// f32 lane scores through the compiled models over the server's arena;
-// the f64 lane goes through predictFn (which tests substitute — test
-// doubles only ever intercept the reference lane). A panicking predict
-// function fails this group with counted "internal error" outcomes —
-// its batchmates in other groups and the lane itself are unaffected —
-// and the deferred releases keep the registry drainable.
-func (s *Server) scoreGroup(fw *core.Framework, lane Lane, idxs []int, jobs []predictJob, outs []batch.Outcome[*core.ServePrediction]) {
+// scoreGroup scores one same-(version, lane) slice of a batch, routed
+// through the group's circuit breaker. The healthy path scores via
+// scoreVia; a scoring fault (panic or mis-shaped result) feeds the
+// breaker and the group rescores through a fallback — f32 falls back to
+// the same version's f64 reference lane, f64 to the newest previous
+// healthy version — so a sick lane degrades service instead of failing
+// it. Once open, the breaker short-circuits straight to the fallback
+// until a cooldown elapses and a half-open probe retries the primary.
+// Context errors never feed the breaker: a slow batch is not a sick
+// lane. The deferred releases keep the registry drainable.
+func (s *Server) scoreGroup(ctx context.Context, key breakerKey, idxs []int, jobs []predictJob, outs []batch.Outcome[predictResult]) {
 	defer func() {
 		for _, i := range idxs {
 			jobs[i].h.Release()
 		}
 	}()
-	defer func() {
-		if v := recover(); v != nil {
-			s.panics.Add(1)
-			err := fmt.Errorf("internal error: predict panicked: %v", v)
-			for _, i := range idxs {
-				outs[i] = batch.Outcome[*core.ServePrediction]{Err: err}
-			}
-		}
-	}()
+	fw := jobs[idxs[0]].h.Framework()
 	reqs := make([]core.ServeRequest, len(idxs))
 	for k, i := range idxs {
 		reqs[k] = jobs[i].req
 	}
-	var res []core.ServeOutcome
-	if lane == LaneF32 {
-		s.laneF32.Add(uint64(len(idxs)))
-		res = fw.ServePredictBatchF32(reqs, s.arena)
-	} else {
-		s.laneF64.Add(uint64(len(idxs)))
-		res = (*s.predictFn.Load())(fw, reqs)
+
+	fill := func(res []core.ServeOutcome, lane Lane, version string, degraded bool) {
+		for k, i := range idxs {
+			outs[i] = batch.Outcome[predictResult]{
+				Value: predictResult{pred: res[k].Prediction, lane: lane, version: version, degraded: degraded},
+				Err:   res[k].Err,
+			}
+		}
 	}
-	if len(res) != len(idxs) {
-		err := fmt.Errorf("internal error: predict returned %d outcomes for %d requests", len(res), len(idxs))
+	failAll := func(err error) {
 		for _, i := range idxs {
-			outs[i] = batch.Outcome[*core.ServePrediction]{Err: err}
+			outs[i] = batch.Outcome[predictResult]{Err: err}
+		}
+	}
+
+	allow, probe := s.breakers.route(key)
+	var primaryErr error
+	if allow {
+		res, err := s.scoreVia(ctx, fw, key.lane, key.version, reqs)
+		if err == nil {
+			s.breakers.result(key, probe, false)
+			fill(res, key.lane, key.version, false)
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The batch ran out of time; the lane is fine.
+			failAll(err)
+			return
+		}
+		s.breakers.result(key, probe, true)
+		primaryErr = err
+	}
+
+	fbFw, fbHandle, fbKey, ok := s.fallbackFor(fw, key)
+	if !ok {
+		if primaryErr != nil {
+			failAll(primaryErr)
+		} else {
+			failAll(errBreakerOpen)
 		}
 		return
 	}
-	for k, i := range idxs {
-		outs[i] = batch.Outcome[*core.ServePrediction]{Value: res[k].Prediction, Err: res[k].Err}
+	if fbHandle != nil {
+		defer fbHandle.Release()
 	}
+	res, err := s.scoreVia(ctx, fbFw, fbKey.lane, fbKey.version, reqs)
+	if err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			s.breakers.result(fbKey, false, true)
+			if primaryErr != nil {
+				err = primaryErr
+			}
+		}
+		failAll(err)
+		return
+	}
+	s.breakers.result(fbKey, false, false)
+	s.breakers.markFallback(key, len(idxs))
+	s.degraded.Add(uint64(len(idxs)))
+	fill(res, fbKey.lane, fbKey.version, true)
+}
+
+// scoreVia runs one batched scoring call on (fw, lane), converting a
+// panic or mis-shaped result into an error the caller feeds the breaker.
+// The f32 lane scores through the compiled models over the server's
+// arena; the f64 lane goes through predictFn (which tests substitute —
+// test doubles only ever intercept the reference lane). The chaos
+// harness's ScoreFaults hook fires inside the recovery scope, so
+// injected scoring panics travel the exact path real ones do.
+func (s *Server) scoreVia(ctx context.Context, fw *core.Framework, lane Lane, version string, reqs []core.ServeRequest) (res []core.ServeOutcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			res, err = nil, fmt.Errorf("internal error: predict panicked: %v", v)
+		}
+	}()
+	if s.scoreFaults != nil && s.scoreFaults.ScorePanic(string(lane)+"/"+version) {
+		panic("injected scoring fault")
+	}
+	if lane == LaneF32 {
+		s.laneF32.Add(uint64(len(reqs)))
+		res = fw.ServePredictBatchF32(ctx, reqs, s.arena)
+	} else {
+		s.laneF64.Add(uint64(len(reqs)))
+		res = (*s.predictFn.Load())(fw, ctx, reqs)
+	}
+	if len(res) != len(reqs) {
+		return nil, fmt.Errorf("internal error: predict returned %d outcomes for %d requests", len(res), len(reqs))
+	}
+	// A batch that dies on its deadline reports context errors on its
+	// live items; surface that as one group error so the caller can tell
+	// "out of time" from "sick lane".
+	for _, o := range res {
+		if e := o.Err; e != nil && (errors.Is(e, context.DeadlineExceeded) || errors.Is(e, context.Canceled)) {
+			return nil, e
+		}
+	}
+	return res, nil
+}
+
+// fallbackFor picks the degraded path for a rerouted (version, lane)
+// group: the same version's f64 reference lane when the f32 lane is
+// sick, otherwise the newest other version whose f64 breaker is closed.
+// Fallback versions are leased from the registry for the duration of the
+// scoring call (the returned handle, when non-nil, must be released);
+// versions mid-retire simply fail to lease and the walk continues — a
+// fallback can never resurrect a retired framework.
+func (s *Server) fallbackFor(fw *core.Framework, key breakerKey) (*core.Framework, *registry.Handle, breakerKey, bool) {
+	if key.lane == LaneF32 {
+		fb := breakerKey{version: key.version, lane: LaneF64}
+		if s.breakers.healthy(fb) {
+			return fw, nil, fb, true
+		}
+	}
+	vs := s.reg.Versions()
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i].Version
+		if v == key.version {
+			continue
+		}
+		fb := breakerKey{version: v, lane: LaneF64}
+		if !s.breakers.healthy(fb) {
+			continue
+		}
+		h, err := s.reg.Acquire(v)
+		if err != nil {
+			continue
+		}
+		return h.Framework(), h, fb, true
+	}
+	return nil, nil, breakerKey{}, false
 }
 
 // Handler returns the service's HTTP handler: panic recovery around
-// everything, request timeouts on the prediction endpoint.
+// everything, request timeouts on the prediction endpoint, and the
+// optional chaos middleware outermost (outside recovery, so injected
+// connection aborts behave like real ones).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/modelz", s.handleModelz)
-	mux.Handle("/predict", http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, `{"error":"prediction timed out"}`))
-	return s.recoverPanics(mux)
+	timeout := http.TimeoutHandler(http.HandlerFunc(s.handlePredict), s.timeout, `{"error":"prediction timed out"}`)
+	// TimeoutHandler writes its timeout body without a Content-Type, so
+	// Go's sniffer would serve the JSON error as text/plain. It preserves
+	// headers already set on the real writer, so pre-setting the type
+	// covers the timeout path; the non-timeout path overwrites headers
+	// wholesale and is unaffected.
+	mux.Handle("/predict", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		timeout.ServeHTTP(w, r)
+	}))
+	h := s.recoverPanics(mux)
+	if s.middleware != nil {
+		h = s.middleware(h)
+	}
+	return h
 }
 
 // recoverPanics converts a panicking handler into a 500 JSON error and a
@@ -445,6 +648,9 @@ type StatsResponse struct {
 	Batch         batch.Stats                 `json:"batch"`
 	Lanes         LaneSnapshot                `json:"lanes"`
 	Models        []registry.VersionInfo      `json:"models"`
+	// Breakers lists every (version, lane) circuit breaker that has
+	// carried traffic.
+	Breakers []BreakerSnapshot `json:"breakers"`
 }
 
 // LaneSnapshot reports how /predict traffic split across the inference
@@ -467,6 +673,9 @@ type FaultSnapshot struct {
 	LoadShed uint64 `json:"load_shed"`
 	// OversizeRequests counts bodies refused with 413.
 	OversizeRequests uint64 `json:"oversize_requests"`
+	// DegradedRequests counts requests answered through a breaker
+	// fallback lane or version.
+	DegradedRequests uint64 `json:"degraded_requests"`
 }
 
 // SimCacheSnapshot reports the simulator memoization counters.
@@ -513,6 +722,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			PanicsRecovered:  s.panics.Load(),
 			LoadShed:         s.shed.Load(),
 			OversizeRequests: s.oversize.Load(),
+			DegradedRequests: s.degraded.Load(),
 		},
 		Batch: s.co.Stats(),
 		Lanes: LaneSnapshot{
@@ -520,7 +730,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			F32Requests: s.laneF32.Load(),
 			F64Requests: s.laneF64.Load(),
 		},
-		Models: s.reg.Versions(),
+		Models:   s.reg.Versions(),
+		Breakers: s.breakers.snapshot(),
 	})
 }
 
@@ -545,6 +756,7 @@ func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"current":  s.reg.CurrentVersion(),
 			"versions": s.reg.Versions(),
+			"breakers": s.breakers.snapshot(),
 		})
 	case http.MethodPost:
 		var req ModelzRequest
@@ -631,9 +843,15 @@ func predictStatus(err error) int {
 	switch {
 	case errors.Is(err, batch.ErrClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The timeout middleware already answered; the status here is
-		// for accounting only.
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request's propagated deadline expired before scoring
+		// finished. When the server's own timeout middleware caused the
+		// expiry it has already answered 503 and this status is for
+		// accounting only; a client-propagated deadline gets the 504.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errBreakerOpen):
 		return http.StatusServiceUnavailable
 	case strings.HasPrefix(err.Error(), "internal error"):
 		return http.StatusInternalServerError
@@ -654,6 +872,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
+	}
+
+	// Deadline propagation: X-Deadline-Millis declares how much of the
+	// client's time budget remains. A request that arrives with its
+	// budget already spent is rejected 504 here — before the admission
+	// semaphore, a batch slot, or a model lease. The resulting context
+	// travels with the job into batch scoring. The server's own timeout
+	// (the TimeoutHandler wrapping this handler) already put its deadline
+	// on r.Context(), so a tighter client budget only narrows it.
+	ctx := r.Context()
+	if hdr := r.Header.Get("X-Deadline-Millis"); hdr != "" {
+		ms, err := strconv.ParseInt(hdr, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad X-Deadline-Millis: " + err.Error()})
+			return
+		}
+		if ms <= 0 {
+			s.predict.deadlineExpired.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline already expired"})
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
 	}
 
 	// Admission control: shed load beyond the in-flight cap instead of
@@ -717,12 +959,34 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job := predictJob{h: h, req: core.ServeRequest{GPU: req.GPU, Stencil: st}, lane: lane}
-	pred, err := s.co.Do(r.Context(), job)
+	// An expired context here (budget spent during decode) must not
+	// consume a batch slot; the coalescer would reject it anyway, but
+	// checking first keeps the 504 ahead of the admission path.
+	if err := ctx.Err(); err != nil {
+		h.Release()
+		s.predict.deadlineExpired.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline already expired"})
+		return
+	}
+
+	job := predictJob{h: h, req: core.ServeRequest{GPU: req.GPU, Stencil: st}, lane: lane, ctx: ctx}
+	res, err := s.co.Do(ctx, job)
 	if err != nil {
-		writeJSON(w, predictStatus(err), errorBody{Error: err.Error()})
+		status := predictStatus(err)
+		if status == http.StatusGatewayTimeout {
+			s.predict.deadlineExpired.Add(1)
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
 	failed = false
-	writeJSON(w, http.StatusOK, pred)
+	// Surface where the prediction actually came from; under breaker
+	// degradation these differ from what the request asked for. The body
+	// is untouched — degraded responses stay bitwise-comparable.
+	w.Header().Set("X-Serve-Lane", string(res.lane))
+	w.Header().Set("X-Serve-Model", res.version)
+	if res.degraded {
+		w.Header().Set("X-Serve-Degraded", "true")
+	}
+	writeJSON(w, http.StatusOK, res.pred)
 }

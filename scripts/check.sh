@@ -39,6 +39,13 @@ echo "== serve smoke =="
 # /healthz and /predict over real HTTP — the deploy path end to end.
 sh scripts/serve_smoke.sh
 
+echo "== serve chaos smoke =="
+# Serve a checkpoint with the HTTP chaos injector armed: the scoring
+# burst must trip the f32 breaker into degraded f64 fallbacks (zero
+# failed requests from scoring), connection faults stay bounded, and a
+# half-open probe recovers the lane after the cooldown.
+sh scripts/serve_chaos_smoke.sh
+
 echo "== chaos smoke =="
 # Profile the smoke corpus cleanly and under deterministic fault
 # injection; the two dataset files must be byte-identical.
