@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"stencilmart/internal/gen"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+)
+
+// simBenchRow is one measured collection configuration in BENCH_sim.json.
+type simBenchRow struct {
+	Substrate     string  `json:"substrate"` // "reference" (pre-rewrite) or "compiled"
+	Mode          string  `json:"mode"`      // "serial" or "parallel"
+	Preset        string  `json:"preset"`
+	Stencils      int     `json:"stencils"`
+	Archs         int     `json:"archs"`
+	Cells         int     `json:"cells"`
+	SamplesPerOC  int     `json:"samples_per_oc"`
+	Instances     int     `json:"instances"`
+	Workers       int     `json:"workers"`
+	Reps          int     `json:"reps"`
+	Seconds       float64 `json:"seconds"` // best rep, cold substrate each rep
+	CellsPerSec   float64 `json:"cells_per_sec"`
+	AllocsPerCell float64 `json:"allocs_per_cell"`
+	KBPerCell     float64 `json:"kb_per_cell"`
+}
+
+// simBenchReport is the BENCH_sim.json document: the measured rows plus
+// the compiled/reference throughput ratio per mode.
+type simBenchReport struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Rows        []simBenchRow      `json:"rows"`
+	Speedup     map[string]float64 `json:"speedup_cells_per_sec"`
+}
+
+// cmdSimBench measures corpus-collection throughput on the pre-rewrite
+// reference substrate and the compiled-evaluator substrate, serial and
+// parallel, and writes the comparison to a JSON report. Every rep builds
+// a fresh profiler and substrate, so both sides sweep an identically cold
+// memo cache and pay their full per-sample cost.
+func cmdSimBench(args []string) error {
+	fs := flag.NewFlagSet("simbench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_sim.json", "output report path")
+	preset := fs.String("preset", "default", "pipeline preset sizing the corpus and search budget (default, paper, smoke)")
+	seed := fs.Int64("seed", 0, "override pipeline seed")
+	reps := fs.Int("reps", 3, "measurement repetitions; the fastest is recorded")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFromPreset(*preset, *seed)
+	if err != nil {
+		return err
+	}
+	corpus, err := gen.MixedCorpus(cfg.Corpus2D, cfg.Corpus3D, cfg.MaxOrder, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	archs := gpu.Catalog()
+	cells := len(corpus) * len(archs)
+	fmt.Printf("sim bench: %d stencils x %d GPUs = %d cells, %d OCs x %d settings per cell, %d reps\n",
+		len(corpus), len(archs), cells, opt.NumCombinations, cfg.SamplesPerOC, *reps)
+
+	report := simBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Speedup:     map[string]float64{},
+	}
+	base := map[string]float64{}
+	for _, mode := range []string{"serial", "parallel"} {
+		for _, substrate := range []string{"reference", "compiled"} {
+			row, err := runSimBench(substrate, mode, *preset, corpus, archs, cfg.SamplesPerOC, cfg.Seed+1000, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-9s %-8s %10.1f cells/sec  %8.0f allocs/cell  %8.1f KB/cell\n",
+				substrate, mode, row.CellsPerSec, row.AllocsPerCell, row.KBPerCell)
+			report.Rows = append(report.Rows, row)
+			if substrate == "reference" {
+				base[mode] = row.CellsPerSec
+			} else if b := base[mode]; b > 0 {
+				report.Speedup[mode] = row.CellsPerSec / b
+			}
+		}
+	}
+	for _, mode := range []string{"serial", "parallel"} {
+		fmt.Printf("  speedup (%s): %.2fx\n", mode, report.Speedup[mode])
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("sim bench written to %s\n", *out)
+	return nil
+}
+
+// runSimBench measures one (substrate, mode) configuration: reps cold
+// collections, keeping the fastest wall time and the per-rep allocation
+// deltas of that run.
+func runSimBench(substrate, mode, preset string, corpus []stencil.Stencil, archs []gpu.Arch, samplesPerOC int, seed int64, reps int) (simBenchRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	workers := 1
+	if mode == "parallel" {
+		workers = 0 // GOMAXPROCS
+	}
+	row := simBenchRow{
+		Substrate:    substrate,
+		Mode:         mode,
+		Preset:       preset,
+		Stencils:     len(corpus),
+		Archs:        len(archs),
+		Cells:        len(corpus) * len(archs),
+		SamplesPerOC: samplesPerOC,
+		Workers:      workers,
+		Reps:         reps,
+	}
+	for r := 0; r < reps; r++ {
+		p := &profile.Profiler{SamplesPerOC: samplesPerOC, Seed: seed, Workers: workers}
+		if substrate == "reference" {
+			p.Runner = sim.NewReference()
+		} else {
+			p.Model = sim.New()
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		ds, err := p.Collect(context.Background(), corpus, archs)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return simBenchRow{}, fmt.Errorf("simbench %s/%s: %w", substrate, mode, err)
+		}
+		runtime.ReadMemStats(&after)
+		if r == 0 || elapsed < row.Seconds {
+			row.Seconds = elapsed
+			row.Instances = len(ds.Instances)
+			row.CellsPerSec = float64(row.Cells) / elapsed
+			row.AllocsPerCell = float64(after.Mallocs-before.Mallocs) / float64(row.Cells)
+			row.KBPerCell = float64(after.TotalAlloc-before.TotalAlloc) / 1024 / float64(row.Cells)
+		}
+	}
+	return row, nil
+}

@@ -44,12 +44,15 @@ type Strategy interface {
 }
 
 // searchOC draws up to budget samples for one OC and returns the best.
+// The cell's compiled evaluator is resolved once; the sample loop is
+// allocation-free on warm cache.
 func searchOC(m *sim.Model, w sim.Workload, arch gpu.Arch, oc opt.Opt, budget int, rng *rand.Rand) (Result, bool) {
 	res := Result{OC: oc}
+	eval := m.CellFn(w, arch)
 	found := false
 	for i := 0; i < budget; i++ {
 		p := opt.Sample(oc, w.S.Dims, rng)
-		r, err := m.Run(w, oc, p, arch)
+		r, err := eval(oc, p)
 		res.Evaluations++
 		if err != nil {
 			continue

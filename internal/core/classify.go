@@ -260,6 +260,7 @@ func (f *Framework) searchPredicted(proba []float64, archIdx, si int, arch gpu.A
 	}
 
 	w := sim.DefaultWorkload(f.Dataset.Stencils[si])
+	eval := f.Model.CellFn(w, arch)
 	best := math.Inf(1)
 	for rank, oc := range ocs {
 		if splits[rank] < 1 {
@@ -268,7 +269,7 @@ func (f *Framework) searchPredicted(proba []float64, archIdx, si int, arch gpu.A
 		rng := rand.New(rand.NewSource(f.Cfg.Seed + int64(si)*131 + int64(archIdx)*7 + int64(rank)))
 		for i := 0; i < splits[rank]; i++ {
 			p := opt.Sample(oc, w.S.Dims, rng)
-			r, err := f.Model.Run(w, oc, p, arch)
+			r, err := eval(oc, p)
 			if err != nil {
 				continue
 			}

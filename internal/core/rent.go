@@ -97,6 +97,12 @@ func (f *Framework) RentStudy(kind RegressorKind, dims int, costBased bool, eval
 	for _, si := range folds[0] {
 		s := f.Dataset.Stencils[si]
 		w := sim.DefaultWorkload(s)
+		// One compiled evaluator per competing GPU, resolved once per
+		// stencil instead of once per (evaluation, GPU).
+		evals := make([]sim.EvalFn, len(archs))
+		for ai, a := range archs {
+			evals[ai] = f.Model.CellFn(w, a)
+		}
 		for e := 0; e < evalPerStencil; e++ {
 			oc := combos[rng.Intn(len(combos))]
 			params := opt.Sample(oc, s.Dims, rng)
@@ -106,8 +112,8 @@ func (f *Framework) RentStudy(kind RegressorKind, dims int, costBased bool, eval
 			// simulation succeeds compete, exactly as before.
 			alive := make([]int, 0, len(archs))
 			times := make([]float64, 0, len(archs))
-			for ai, a := range archs {
-				r, err := f.Model.Run(w, oc, params, a)
+			for ai := range archs {
+				r, err := evals[ai](oc, params)
 				if err != nil {
 					continue
 				}

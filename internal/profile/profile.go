@@ -158,13 +158,17 @@ func (p *Profiler) model() *sim.Model {
 	return p.Model
 }
 
-// runner resolves the measurement path: the installed Runner, or the
-// (lazily constructed) clean model.
-func (p *Profiler) runner() sim.Runner {
-	if p.Runner != nil {
-		return p.Runner
+// cellFn resolves the measurement path for one (workload, arch) cell: a
+// generic closure over an installed Runner (fault injectors, test
+// doubles), or the model's compiled evaluator — resolved once per cell so
+// the sample loop skips per-call cell lookup and workload validation.
+func (p *Profiler) cellFn(w sim.Workload, arch gpu.Arch) sim.EvalFn {
+	if run := p.Runner; run != nil {
+		return func(oc opt.Opt, pp opt.Params) (sim.Result, error) {
+			return run.Run(w, oc, pp, arch)
+		}
 	}
-	return p.model()
+	return p.model().CellFn(w, arch)
 }
 
 // ProfileOne profiles a single stencil on a single architecture.
@@ -178,8 +182,8 @@ func (p *Profiler) ProfileOne(ctx context.Context, stencilIdx int, s stencil.Ste
 	if p.SamplesPerOC < 1 {
 		return Profile{}, nil, fmt.Errorf("profile: samples per OC %d < 1", p.SamplesPerOC)
 	}
-	run := p.runner()
 	w := sim.DefaultWorkload(s)
+	eval := p.cellFn(w, arch)
 	combos := opt.Combinations()
 	prof := Profile{
 		StencilIdx: stencilIdx,
@@ -187,14 +191,20 @@ func (p *Profiler) ProfileOne(ctx context.Context, stencilIdx int, s stencil.Ste
 		Results:    make([]OCResult, len(combos)),
 		BestTime:   math.Inf(1),
 	}
-	var instances []Instance
+	// Every sample that measures cleanly becomes an instance; size for the
+	// no-crash case so the append loop never regrows.
+	instances := make([]Instance, 0, len(combos)*p.SamplesPerOC)
 	found := false
+	// One rng reused across OCs: re-seeding replays the exact stream a
+	// fresh rand.New(rand.NewSource(seed)) would produce, without
+	// allocating (and zeroing) a 5-KiB generator state per OC.
+	rng := rand.New(rand.NewSource(1))
 	for ci, oc := range combos {
-		rng := rand.New(rand.NewSource(cellSeed(p.Seed, stencilIdx, arch.Name, ci)))
+		rng.Seed(cellSeed(p.Seed, stencilIdx, arch.Name, ci))
 		res := OCResult{OC: oc, Time: math.NaN(), Crashed: true}
 		for k := 0; k < p.SamplesPerOC; k++ {
 			params := opt.Sample(oc, s.Dims, rng)
-			r, err := p.measure(ctx, run, w, oc, params, arch)
+			r, err := p.measure(ctx, eval, oc, params)
 			if err != nil {
 				if cellFailure(err) {
 					return Profile{}, nil, fmt.Errorf("profile: stencil %q %s on %s: %w", s.Name, oc, arch.Name, err)
@@ -254,10 +264,8 @@ func (p *Profiler) Collect(ctx context.Context, stencils []stencil.Stencil, arch
 		return nil, fmt.Errorf("profile: empty corpus (%d stencils, %d archs)", len(stencils), len(archs))
 	}
 	p.model() // resolve the lazy model before workers race to do it
-	d := &Dataset{Stencils: stencils}
-	for _, a := range archs {
-		d.Archs = append(d.Archs, a)
-	}
+	d := &Dataset{Stencils: stencils, Archs: make([]gpu.Arch, len(archs))}
+	copy(d.Archs, archs)
 	d.Profiles = make([][]Profile, len(archs))
 	for ai := range archs {
 		d.Profiles[ai] = make([]Profile, len(stencils))
@@ -283,6 +291,11 @@ func (p *Profiler) Collect(ctx context.Context, stencils []stencil.Stencil, arch
 		}
 		return nil, err
 	}
+	total := 0
+	for _, c := range cells {
+		total += len(c.inst)
+	}
+	d.Instances = make([]Instance, 0, total)
 	for i, c := range cells {
 		d.Profiles[i/nS][i%nS] = c.prof
 		d.Instances = append(d.Instances, c.inst...)

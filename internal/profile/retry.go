@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"stencilmart/internal/fault"
-	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
 	"stencilmart/internal/par"
 	"stencilmart/internal/sim"
@@ -114,20 +113,22 @@ func (e *GiveUpError) Unwrap() error { return e.Last }
 
 // runRecover executes one measurement attempt, converting a panic in the
 // substrate into a retryable *par.PanicError instead of unwinding the
-// worker.
-func runRecover(run sim.Runner, w sim.Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (res sim.Result, err error) {
+// worker. The measurement path is a per-cell eval closure: the profiler
+// resolves the (workload, arch) cell once and the sample loop carries
+// only (OC, params).
+func runRecover(eval sim.EvalFn, oc opt.Opt, p opt.Params) (res sim.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &par.PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
-	return run.Run(w, oc, p, arch)
+	return eval(oc, p)
 }
 
 // measureAttempts is the retry loop around one (setting, trial)
 // measurement: transient faults back off and retry up to the policy's
 // attempt budget; permanent outcomes return immediately.
-func (p *Profiler) measureAttempts(ctx context.Context, run sim.Runner, w sim.Workload, oc opt.Opt, params opt.Params, arch gpu.Arch) (sim.Result, error) {
+func (p *Profiler) measureAttempts(ctx context.Context, eval sim.EvalFn, oc opt.Opt, params opt.Params) (sim.Result, error) {
 	pol := p.Retry
 	attempts := pol.maxAttempts()
 	var last error
@@ -138,7 +139,7 @@ func (p *Profiler) measureAttempts(ctx context.Context, run sim.Runner, w sim.Wo
 		if a > 0 {
 			pol.sleep(pol.Backoff(a))
 		}
-		r, err := runRecover(run, w, oc, params, arch)
+		r, err := runRecover(eval, oc, params)
 		if err == nil && !finite(r.Time) {
 			err = &NonFiniteError{Time: r.Time}
 		}
@@ -158,16 +159,21 @@ func (p *Profiler) measureAttempts(ctx context.Context, run sim.Runner, w sim.Wo
 // and keeps the median time — a single latency spike that slips past
 // the error path cannot move the recorded value as long as a majority
 // of trials are clean. The returned Result is the first trial's
-// breakdown with Time replaced by the median.
-func (p *Profiler) measure(ctx context.Context, run sim.Runner, w sim.Workload, oc opt.Opt, params opt.Params, arch gpu.Arch) (sim.Result, error) {
+// breakdown with Time replaced by the median. The single-trial default
+// skips the trial buffer entirely, keeping the per-sample path
+// allocation-free on the compiled substrate.
+func (p *Profiler) measure(ctx context.Context, eval sim.EvalFn, oc opt.Opt, params opt.Params) (sim.Result, error) {
 	k := p.Trials
 	if k < 1 {
 		k = 1
 	}
+	if k == 1 {
+		return p.measureAttempts(ctx, eval, oc, params)
+	}
 	var rep sim.Result
 	times := make([]float64, k)
 	for t := 0; t < k; t++ {
-		r, err := p.measureAttempts(ctx, run, w, oc, params, arch)
+		r, err := p.measureAttempts(ctx, eval, oc, params)
 		if err != nil {
 			return sim.Result{}, err
 		}

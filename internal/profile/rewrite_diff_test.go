@@ -1,0 +1,109 @@
+package profile_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"stencilmart/internal/fault"
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/profile"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/testutil"
+)
+
+// The rewrite differential: the compiled-evaluator substrate must be
+// invisible at dataset granularity. A collection measured on
+// sim.NewReference() — the pre-rewrite path kept verbatim: per-call
+// validation, string-keyed map cache, noise from scratch — is the oracle;
+// collections on the default compiled Model must reproduce its bytes
+// exactly, serial and parallel, journaled and not, chaos-injected and
+// clean.
+
+// referenceCollect collects the suite corpus on the pre-rewrite path.
+func referenceCollect(t testing.TB, workers int) []byte {
+	t.Helper()
+	p := &profile.Profiler{
+		Runner:       sim.NewReference(),
+		SamplesPerOC: 4,
+		Seed:         testutil.CorpusSeed + 1,
+		Workers:      workers,
+	}
+	d, err := p.Collect(context.Background(), testutil.SmallCorpus(t), testutil.AllArchs(t))
+	if err != nil {
+		t.Fatalf("reference Collect (workers=%d): %v", workers, err)
+	}
+	return testutil.DatasetJSON(t, d)
+}
+
+// compiledCollect collects the same corpus on the compiled Model path.
+func compiledCollect(t testing.TB, workers int) []byte {
+	t.Helper()
+	p := profile.NewProfiler(4, testutil.CorpusSeed+1)
+	p.Workers = workers
+	d, err := p.Collect(context.Background(), testutil.SmallCorpus(t), testutil.AllArchs(t))
+	if err != nil {
+		t.Fatalf("compiled Collect (workers=%d): %v", workers, err)
+	}
+	return testutil.DatasetJSON(t, d)
+}
+
+// TestCollectMatchesReference: compiled vs pre-rewrite dataset bytes, at
+// GOMAXPROCS 1 and 4, serial and parallel pools.
+func TestCollectMatchesReference(t *testing.T) {
+	oracle := referenceCollect(t, 1)
+	for _, procs := range []int{1, 4} {
+		testutil.WithGOMAXPROCS(t, procs, func() {
+			testutil.AssertSameBytes(t, "compiled serial vs reference", oracle, compiledCollect(t, 1))
+			testutil.AssertSameBytes(t, "compiled parallel vs reference", oracle, compiledCollect(t, 0))
+		})
+	}
+	// And the reference path itself is scheduling-invariant, so the oracle
+	// is well-defined.
+	testutil.AssertSameBytes(t, "reference parallel vs serial", oracle, referenceCollect(t, 4))
+}
+
+// TestCollectJournalMatchesReference: the journaled (WAL) collection on
+// the compiled substrate reproduces the reference bytes too.
+func TestCollectJournalMatchesReference(t *testing.T) {
+	oracle := referenceCollect(t, 1)
+	p := profile.NewProfiler(4, testutil.CorpusSeed+1)
+	path := filepath.Join(t.TempDir(), "collect.journal")
+	d, _, err := p.CollectJournal(context.Background(), path, testutil.SmallCorpus(t), testutil.AllArchs(t))
+	if err != nil {
+		t.Fatalf("CollectJournal: %v", err)
+	}
+	testutil.AssertSameBytes(t, "journaled compiled vs reference", oracle, testutil.DatasetJSON(t, d))
+}
+
+// TestChaosMatchesReferenceChaos: fault injection composes identically
+// over both substrates. The injector keys its deterministic fault plan on
+// the run-site string identity (sim.RunKey), which the rewrite preserved,
+// so chaos over the compiled model and chaos over the reference path must
+// absorb the same faults and emit the same bytes.
+func TestChaosMatchesReferenceChaos(t *testing.T) {
+	corpus := testutil.SmallCorpus(t)
+	archs := gpu.Catalog()[:2]
+	collectOn := func(sub sim.Runner) []byte {
+		t.Helper()
+		p := &profile.Profiler{
+			Runner:       fault.Wrap(sub, fault.DefaultConfig(99)),
+			SamplesPerOC: 3,
+			Seed:         21,
+			Workers:      4,
+			Trials:       3,
+			Retry: profile.RetryPolicy{
+				MaxAttempts: 6,
+				Sleep:       func(time.Duration) {},
+			},
+		}
+		d, err := p.Collect(context.Background(), corpus, archs)
+		if err != nil {
+			t.Fatalf("chaos Collect: %v", err)
+		}
+		return testutil.DatasetJSON(t, d)
+	}
+	testutil.AssertSameBytes(t, "chaos over compiled vs chaos over reference",
+		collectOn(sim.NewReference()), collectOn(sim.New()))
+}

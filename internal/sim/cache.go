@@ -1,13 +1,10 @@
 package sim
 
 import (
-	"encoding/binary"
-	"hash/fnv"
-	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
-	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
 )
 
@@ -17,9 +14,16 @@ import (
 // baselines and the tuners keep re-evaluating identical cells — random
 // parameter search over small power-of-two spaces collides constantly,
 // and the equal-budget comparisons re-price the very points profiling
-// already visited — so Model.Run memoizes evaluations in a sharded,
-// size-bounded cache. Sharding keeps concurrent profiling workers off a
-// single lock; the bound keeps memory flat under corpus-scale sweeps.
+// already visited — so evaluations are memoized.
+//
+// The cache is a sharded, fixed-size open-addressed table keyed on a
+// comparable packed struct: the compiled evaluator's cell id plus the
+// (OC, params) sample packed into one uint64 (see packSample). Lookups
+// hash with an inline integer mix — no per-lookup hasher object, no key
+// string, no allocation of any kind — and inserts into a full probe
+// window overwrite in place, so there is no map-iteration eviction and
+// memory stays flat under corpus-scale sweeps. Sharding keeps concurrent
+// profiling workers off a single lock.
 //
 // Caching is invisible to results by construction (values are exact
 // first-computation bits and the model is deterministic), so eviction
@@ -32,6 +36,10 @@ const DefaultCacheEntries = 1 << 16
 // cacheShards is the shard count; a power of two so the hash maps to a
 // shard with a mask.
 const cacheShards = 64
+
+// probeWindow bounds the linear-probe distance of one lookup; an insert
+// that finds the whole window occupied overwrites its first slot.
+const probeWindow = 8
 
 // CacheStats is a snapshot of a model cache's counters.
 type CacheStats struct {
@@ -59,15 +67,95 @@ type cacheEntry struct {
 	err error
 }
 
-type cacheShard struct {
-	mu sync.Mutex
-	m  map[string]cacheEntry
+// evalKey identifies one memoized evaluation: the compiled cell
+// (evaluator) id and the packed (OC, params) sample. Comparable, 16
+// bytes, no pointers.
+type evalKey struct {
+	sample uint64
+	cell   uint32
 }
 
-// runCache is the sharded, size-bounded memoization table.
+// hash mixes the key into a well-distributed uint64 (the 64-bit
+// finalizer from MurmurHash3, seeded with the cell id so samples of
+// different cells land on different shards).
+func (k evalKey) hash() uint64 {
+	h := k.sample ^ (uint64(k.cell)+1)*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return h
+}
+
+// packSample packs a validated (OC, params) pair into one uint64, or
+// reports that the pair is outside the canonical encoding (in which case
+// the caller bypasses the cache and computes directly — never a wrong
+// result, only a forgone memoization).
+//
+// Layout, low to high: OC bitmask (8 bits, values < 64); then the six
+// power-of-two-or-zero numeric parameters (BlockX, BlockY, Merge,
+// StreamTile, Unroll, TBDepth) as 7-bit pow2 codes; then the three small
+// enums (MergeDim, StreamDim, PrefetchDepth) as 2 bits each; then UseSmem
+// as 1 bit — 57 bits total. Every field occupies a disjoint bit range and
+// every per-field encoding is injective over the values opt.Params
+// validation admits (pow2Code distinguishes 0 from 1 from every power of
+// two up to 1<<62), so distinct valid samples always pack to distinct
+// keys: the collision-freedom invariant the old string runKey documented
+// survives the packing.
+func packSample(oc opt.Opt, p opt.Params) (uint64, bool) {
+	k := uint64(oc)
+	shift := uint(8)
+	for _, v := range [...]int{p.BlockX, p.BlockY, p.Merge, p.StreamTile, p.Unroll, p.TBDepth} {
+		c, ok := pow2Code(v)
+		if !ok {
+			return 0, false
+		}
+		k |= uint64(c) << shift
+		shift += 7
+	}
+	for _, v := range [...]int{p.MergeDim, p.StreamDim, p.PrefetchDepth} {
+		if v < 0 || v > 3 {
+			return 0, false
+		}
+		k |= uint64(v) << shift
+		shift += 2
+	}
+	if p.UseSmem {
+		k |= 1 << shift
+	}
+	return k, true
+}
+
+// pow2Code injectively encodes {0} ∪ {powers of two} into [0, 64]:
+// 0 -> 0 and 1<<n -> n+1. Any other value is outside the canonical
+// domain.
+func pow2Code(v int) (int, bool) {
+	if v == 0 {
+		return 0, true
+	}
+	if v < 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(uint64(v)) + 1, true
+}
+
+// cacheSlot is one open-addressed table slot.
+type cacheSlot struct {
+	key  evalKey
+	ent  cacheEntry
+	used bool
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	slots []cacheSlot // power-of-two length, preallocated
+}
+
+// runCache is the sharded, fixed-size open-addressed memoization table.
 type runCache struct {
-	perShard               int
 	hits, misses, evictRun atomic.Uint64
+	entries                atomic.Int64
 	shards                 [cacheShards]cacheShard
 }
 
@@ -79,116 +167,86 @@ func newRunCache(capacity int) *runCache {
 	if per < 1 {
 		per = 1
 	}
-	c := &runCache{perShard: per}
+	// Round the per-shard slot count up to a power of two so probe
+	// positions mask instead of mod.
+	slots := 1
+	for slots < per {
+		slots <<= 1
+	}
+	c := &runCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]cacheEntry)
+		c.shards[i].slots = make([]cacheSlot, slots)
 	}
 	return c
 }
 
-func (c *runCache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()&(cacheShards-1)]
+// probe computes the shard and first slot index for a key hash.
+func (c *runCache) probe(h uint64) (*cacheShard, uint64) {
+	return &c.shards[h&(cacheShards-1)], h >> 6
 }
 
-func (c *runCache) get(key string) (cacheEntry, bool) {
-	s := c.shard(key)
-	s.mu.Lock()
-	e, ok := s.m[key]
-	s.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+func (c *runCache) get(key evalKey) (cacheEntry, bool) {
+	s, start := c.probe(key.hash())
+	mask := uint64(len(s.slots) - 1)
+	window := probeWindow
+	if window > len(s.slots) {
+		window = len(s.slots)
 	}
-	return e, ok
-}
-
-func (c *runCache) put(key string, e cacheEntry) {
-	s := c.shard(key)
 	s.mu.Lock()
-	if _, ok := s.m[key]; !ok {
-		if len(s.m) >= c.perShard {
-			// Evict an arbitrary entry (map iteration order). Values are
-			// deterministic functions of their keys, so eviction choice
-			// affects only the hit rate — never a computed result.
-			for k := range s.m {
-				delete(s.m, k)
-				c.evictRun.Add(1)
-				break
-			}
+	for i := 0; i < window; i++ {
+		sl := &s.slots[(start+uint64(i))&mask]
+		if !sl.used {
+			break
 		}
-		s.m[key] = e
+		if sl.key == key {
+			e := sl.ent
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e, true
+		}
 	}
 	s.mu.Unlock()
+	c.misses.Add(1)
+	return cacheEntry{}, false
 }
 
+func (c *runCache) put(key evalKey, e cacheEntry) {
+	s, start := c.probe(key.hash())
+	mask := uint64(len(s.slots) - 1)
+	window := probeWindow
+	if window > len(s.slots) {
+		window = len(s.slots)
+	}
+	s.mu.Lock()
+	for i := 0; i < window; i++ {
+		sl := &s.slots[(start+uint64(i))&mask]
+		if !sl.used {
+			sl.key, sl.ent, sl.used = key, e, true
+			s.mu.Unlock()
+			c.entries.Add(1)
+			return
+		}
+		if sl.key == key {
+			s.mu.Unlock()
+			return
+		}
+	}
+	// Window full: overwrite the first probed slot in place. The evicted
+	// value was a deterministic function of its key, so the choice
+	// affects only the hit rate — never a computed result.
+	sl := &s.slots[start&mask]
+	sl.key, sl.ent = key, e
+	s.mu.Unlock()
+	c.evictRun.Add(1)
+}
+
+// stats snapshots the counters. Entries is maintained atomically on
+// insert, so polling from /statsz is O(1) — no lock sweep over shards.
 func (c *runCache) stats() CacheStats {
-	st := CacheStats{
+	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictRun.Load(),
+		Entries:   int(c.entries.Load()),
 	}
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		st.Entries += len(s.m)
-		s.mu.Unlock()
-	}
-	return st
-}
-
-// archKeys caches the per-architecture key segment: gpu.Arch is a
-// comparable value struct, so identical specs share one digest and a
-// user-modified Arch (even one reusing a catalog name) keys separately.
-var archKeys sync.Map // gpu.Arch -> string
-
-func archKey(a gpu.Arch) string {
-	if v, ok := archKeys.Load(a); ok {
-		return v.(string)
-	}
-	b := make([]byte, 0, len(a.Name)+len(a.Generation)+2+11*8)
-	b = append(b, a.Name...)
-	b = append(b, 0)
-	b = append(b, a.Generation...)
-	b = append(b, 0)
-	for _, f := range []float64{
-		a.MemGB, a.MemBWGBs, float64(a.SMs), a.TFLOPS, a.RentalPerHour,
-		float64(a.RegsPerSM), float64(a.SmemPerSMKB), float64(a.MaxThreadsPerSM),
-		float64(a.MaxRegsPerThread), a.L2MB, a.ClockGHz,
-	} {
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
-		b = append(b, buf[:]...)
-	}
-	k := string(b)
-	archKeys.Store(a, k)
-	return k
-}
-
-// runKey canonicalizes one evaluation cell. Unlike the noise paramsKey
-// (whose byte truncation only perturbs noise), every field here is
-// encoded collision-free: a key collision would return a wrong result.
-func runKey(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) string {
-	ak := archKey(arch)
-	b := make([]byte, 0, 1+3*len(w.S.Points)+4*4+1+2*10+1+len(ak))
-	b = append(b, patternKey(w.S)...)
-	var u [4]byte
-	for _, v := range [...]int{w.GridX, w.GridY, w.GridZ, w.TimeSteps} {
-		binary.LittleEndian.PutUint32(u[:], uint32(v))
-		b = append(b, u[:]...)
-	}
-	b = append(b, byte(oc))
-	for _, v := range [...]int{p.BlockX, p.BlockY, p.Merge, p.MergeDim,
-		p.StreamTile, p.StreamDim, p.Unroll, p.TBDepth, p.PrefetchDepth} {
-		b = append(b, byte(v), byte(v>>8))
-	}
-	if p.UseSmem {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
-	}
-	b = append(b, ak...)
-	return string(b)
 }

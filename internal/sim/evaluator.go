@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+)
+
+// CellEvaluator is the compiled evaluation path for one
+// (workload, stencil, architecture) cell. Construction precomputes
+// everything invariant across the thousands of (OC, params) samples a
+// cell evaluates — workload validation, the stencil's footprint geometry,
+// the per-OC noise projections against the reference corpus, the per-OC
+// FNV prefix of the measurement-noise key — so the per-sample hot loop
+// does only the resource/time arithmetic plus precomputed-table noise
+// lookups. Warm evaluations perform zero allocations (enforced by the
+// AllocsPerRun gate in check.sh).
+//
+// Evaluators are obtained from Model.Evaluator (or implicitly through
+// Model.Run / Model.CellFn) and are safe for concurrent use; results are
+// bitwise-identical to the pre-rewrite Reference path, a property the
+// differential suite asserts per run and per collected dataset.
+type CellEvaluator struct {
+	m    *Model
+	id   uint32
+	w    Workload
+	arch gpu.Arch
+	dims int
+	g    geom
+
+	// Noise precomputation. The pre-rewrite factor is
+	//
+	//   exp(Measurement*gauss(patternKey, oc, paramsKey, archName)
+	//       + StencilArch*projection(s, "arch:"+archName)
+	//       + StencilOC*projection(s, "oc:"+oc)
+	//       + OCArch*gauss("", oc, "", archName))
+	//
+	// Only the first term varies with the sampled params; the rest are
+	// per-(cell, OC) constants. The terms are stored (not pre-summed) and
+	// added back in the original left-to-right order so the float result
+	// is bit-identical. measPrefix is the running FNV-1a state after
+	// (patternKey, 0, oc, 0) — the per-sample hash resumes from it.
+	meas       float64
+	archTerm   float64
+	ocTerm     [64]float64
+	ocArchTerm [64]float64
+	measPrefix [64]uint64
+}
+
+// EvalFn evaluates one (OC, params) sample of a fixed cell. It is the
+// shape hot consumers (profiler, tuners, baselines, prediction-time
+// searches) hold in their inner loops.
+type EvalFn func(oc opt.Opt, p opt.Params) (Result, error)
+
+// maxEvaluators bounds the per-model compiled-evaluator table; real
+// collections hold stencils x architectures evaluators, far below it.
+// On overflow the table resets wholesale — recompilation is microseconds
+// and ids stay unique, so stale run-cache entries simply never hit again.
+const maxEvaluators = 4096
+
+// Evaluator returns the compiled evaluator for the cell, compiling and
+// caching it on first use. The workload is validated here, once per
+// cell — never again per sample.
+func (m *Model) Evaluator(w Workload, arch gpu.Arch) (*CellEvaluator, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	key := compileKey(w, arch)
+	m.evalMu.Lock()
+	if ev, ok := m.evals[key]; ok {
+		m.evalMu.Unlock()
+		return ev, nil
+	}
+	m.evalMu.Unlock()
+
+	ev := m.compile(w, arch)
+
+	m.evalMu.Lock()
+	if cur, ok := m.evals[key]; ok {
+		// A concurrent compile of the same cell won; every evaluator of a
+		// cell computes identical bits, so either is correct — keep the
+		// registered one so the cell id (and run-cache keys) stay stable.
+		ev = cur
+	} else {
+		if m.evals == nil || len(m.evals) >= maxEvaluators {
+			m.evals = make(map[string]*CellEvaluator)
+		}
+		m.nextCell++
+		ev.id = m.nextCell
+		m.evals[key] = ev
+	}
+	m.evalMu.Unlock()
+	return ev, nil
+}
+
+// CellFn resolves the cell to its compiled evaluator's Eval. A workload
+// that fails validation yields a function returning that error on every
+// call — the per-call error contract of the pre-rewrite Run.
+func (m *Model) CellFn(w Workload, arch gpu.Arch) EvalFn {
+	ev, err := m.Evaluator(w, arch)
+	if err != nil {
+		return func(opt.Opt, opt.Params) (Result, error) { return Result{}, err }
+	}
+	return ev.Eval
+}
+
+// compileKey canonicalizes the cell identity: access pattern, grid
+// extents, time steps, and the full architecture spec digest. Stencil
+// names are deliberately absent — renamed but identical cells share one
+// evaluator, exactly as they shared cache entries before.
+func compileKey(w Workload, arch gpu.Arch) string {
+	ak := archKey(arch)
+	b := make([]byte, 0, 1+3*len(w.S.Points)+4*4+len(ak))
+	b = append(b, patternKey(w.S)...)
+	var u [4]byte
+	for _, v := range [...]int{w.GridX, w.GridY, w.GridZ, w.TimeSteps} {
+		binary.LittleEndian.PutUint32(u[:], uint32(v))
+		b = append(b, u[:]...)
+	}
+	b = append(b, ak...)
+	return string(b)
+}
+
+// compile precomputes the cell's invariants. It runs once per cell per
+// model; all constants reuse the exact functions the reference path
+// evaluates per run (projection, gauss), so the stored values carry the
+// same bits the uncompiled path would recompute.
+func (m *Model) compile(w Workload, arch gpu.Arch) *CellEvaluator {
+	s := w.S
+	n := m.noise
+	e := &CellEvaluator{
+		m:        m,
+		w:        w,
+		arch:     arch,
+		dims:     s.Dims,
+		g:        stencilGeom(s),
+		meas:     n.Measurement,
+		archTerm: n.StencilArch * projection(s, "arch:"+arch.Name),
+	}
+	pk := patternKey(s)
+	base := fnv1aByte(fnv1aString(uint64(fnvOffset64), pk), 0)
+	for _, oc := range opt.Combinations() {
+		ocb := byte(oc)
+		e.measPrefix[oc] = fnv1aByte(fnv1aByte(base, ocb), 0)
+		e.ocTerm[oc] = n.StencilOC * projection(s, "oc:"+string(ocb))
+		e.ocArchTerm[oc] = n.OCArch * gauss("", ocb, "", arch.Name)
+	}
+	return e
+}
+
+// Eval prices one (OC, params) sample of the compiled cell. It returns
+// ErrCrash or ErrInvalidConfig (wrapped) when the kernel cannot run,
+// with the same validation order and error text as the reference path.
+func (e *CellEvaluator) Eval(oc opt.Opt, p opt.Params) (Result, error) {
+	if err := oc.ValidationError(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(oc, e.dims); err != nil {
+		return Result{}, err
+	}
+
+	var key evalKey
+	cache := e.m.cache
+	sample, packable := packSample(oc, p)
+	if !packable {
+		// Outside the canonical packing (degenerate-but-valid values such
+		// as a negative Merge without BM/CM): compute directly, uncached.
+		cache = nil
+	}
+	if cache != nil {
+		key = evalKey{sample: sample, cell: e.id}
+		if ent, ok := cache.get(key); ok {
+			return ent.res, ent.err
+		}
+	}
+
+	res := resourceUsage(e.w, oc, p, e.arch)
+	if err := res.check(e.arch, e.w, oc, p); err != nil {
+		// Crashes are deterministic per cell and re-sampled constantly by
+		// equal-budget searches, so they are worth memoizing too.
+		if cache != nil {
+			cache.put(key, cacheEntry{err: err})
+		}
+		return Result{}, err
+	}
+
+	occ := occupancy(res, p, e.arch)
+	t := timeBreakdown(e.w, oc, p, e.arch, res, occ, e.g)
+
+	r := Result{
+		Compute:        t.compute,
+		Memory:         t.memory,
+		Sync:           t.sync,
+		Launch:         t.launch,
+		Occupancy:      occ,
+		RegsPerThread:  res.regs,
+		SmemPerBlockKB: res.smemBytes / 1024,
+		SpillBytes:     res.spillBytes,
+	}
+	base := t.compute + t.memory + t.sync + t.launch
+	r.Time = base * e.noiseFactor(oc, p)
+	if cache != nil {
+		cache.put(key, cacheEntry{res: r})
+	}
+	return r, nil
+}
+
+// noiseFactor is NoiseConfig.factor with every cell-invariant piece
+// precomputed: the measurement gauss resumes from the per-OC FNV prefix
+// and hashes only the 10 params bytes and the arch name inline; the three
+// affinity terms come from the compile-time tables. The additions run in
+// the reference order, so the factor is bit-identical.
+func (e *CellEvaluator) noiseFactor(oc opt.Opt, p opt.Params) float64 {
+	h := e.measPrefix[oc]
+	// paramsKey(p), inlined into a stack buffer: same 10 bytes, no alloc.
+	var pk [10]byte
+	pk[0] = byte(p.BlockX)
+	pk[1] = byte(p.BlockY)
+	pk[2] = byte(p.Merge)
+	pk[3] = byte(p.MergeDim)
+	pk[4] = byte(p.StreamTile)
+	pk[5] = byte(p.StreamDim)
+	pk[6] = byte(p.Unroll)
+	pk[7] = byte(p.TBDepth)
+	pk[8] = byte(p.PrefetchDepth)
+	if p.UseSmem {
+		pk[9] = 1
+	}
+	for _, b := range pk {
+		h = fnv1aByte(h, b)
+	}
+	h = fnv1aByte(h, 0)
+	h = fnv1aString(h, e.arch.Name)
+	h = fnv1aByte(h, 0)
+
+	sum := e.meas*boxMullerFrom(h) + e.archTerm + e.ocTerm[oc] + e.ocArchTerm[oc]
+	return math.Exp(sum)
+}

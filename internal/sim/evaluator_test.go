@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/stencil"
+)
+
+// diffStencils is a small mixed population exercising both dims, star and
+// box shapes, and every order the corpus generator emits.
+func diffStencils(t *testing.T) []stencil.Stencil {
+	t.Helper()
+	return []stencil.Stencil{
+		stencil.Star(2, 1), stencil.Star(2, 4), stencil.Box(2, 2),
+		stencil.Star(3, 1), stencil.Star(3, 3), stencil.Box(3, 2), stencil.Box(3, 4),
+	}
+}
+
+// TestEvaluatorMatchesReference is the per-run differential: for every
+// catalog architecture, every valid OC and a spread of sampled settings,
+// the compiled evaluator must reproduce the pre-rewrite Reference path
+// bit for bit — Result fields compared as exact float bits, errors
+// compared by sentinel and text.
+func TestEvaluatorMatchesReference(t *testing.T) {
+	m := New()
+	ref := NewReference()
+	rng := rand.New(rand.NewSource(20260808))
+	for _, s := range diffStencils(t) {
+		w := DefaultWorkload(s)
+		for _, arch := range gpu.Catalog() {
+			ev, err := m.Evaluator(w, arch)
+			if err != nil {
+				t.Fatalf("%s on %s: compile: %v", s.Name, arch.Name, err)
+			}
+			for _, oc := range opt.Combinations() {
+				for k := 0; k < 6; k++ {
+					p := opt.Sample(oc, s.Dims, rng)
+					got, gotErr := ev.Eval(oc, p)
+					want, wantErr := ref.Run(w, oc, p, arch)
+					assertSameOutcome(t, s.Name, arch.Name, oc, got, gotErr, want, wantErr)
+					// And through the compatibility wrapper.
+					got2, gotErr2 := m.Run(w, oc, p, arch)
+					assertSameOutcome(t, s.Name, arch.Name, oc, got2, gotErr2, want, wantErr)
+				}
+			}
+		}
+	}
+}
+
+func assertSameOutcome(t *testing.T, sname, aname string, oc opt.Opt, got Result, gotErr error, want Result, wantErr error) {
+	t.Helper()
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s %s on %s: error disagreement: evaluator %v, reference %v", sname, oc, aname, gotErr, wantErr)
+	}
+	if wantErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s %s on %s: error text %q != %q", sname, oc, aname, gotErr, wantErr)
+		}
+		wantCrash := errors.Is(wantErr, ErrCrash)
+		wantInvalid := errors.Is(wantErr, ErrInvalidConfig)
+		if errors.Is(gotErr, ErrCrash) != wantCrash || errors.Is(gotErr, ErrInvalidConfig) != wantInvalid {
+			t.Fatalf("%s %s on %s: error sentinel mismatch: %v vs %v", sname, oc, aname, gotErr, wantErr)
+		}
+		return
+	}
+	if got != want {
+		t.Fatalf("%s %s on %s: result differs:\n evaluator %+v\n reference %+v", sname, oc, aname, got, want)
+	}
+	if math.Float64bits(got.Time) != math.Float64bits(want.Time) {
+		t.Fatalf("%s %s on %s: time bits differ: %x vs %x", sname, oc, aname,
+			math.Float64bits(got.Time), math.Float64bits(want.Time))
+	}
+}
+
+// TestEvaluatorMatchesReferenceOffDefaultWorkloads varies grid extents
+// and time steps: the compile key must separate cells that differ only in
+// workload geometry.
+func TestEvaluatorMatchesReferenceOffDefaultWorkloads(t *testing.T) {
+	m := New()
+	ref := NewReference()
+	arch, err := gpu.ByName("A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stencil.Star(3, 2)
+	rng := rand.New(rand.NewSource(99))
+	for _, w := range []Workload{
+		{S: s, GridX: 256, GridY: 256, GridZ: 256, TimeSteps: 4},
+		{S: s, GridX: 768, GridY: 256, GridZ: 128, TimeSteps: 1},
+		{S: s, GridX: 512, GridY: 512, GridZ: 512, TimeSteps: 32},
+	} {
+		for _, oc := range []opt.Opt{0, opt.ST, opt.ST | opt.TB, opt.BM, opt.ST | opt.RT | opt.PR} {
+			for k := 0; k < 4; k++ {
+				p := opt.Sample(oc, s.Dims, rng)
+				got, gotErr := m.Run(w, oc, p, arch)
+				want, wantErr := ref.Run(w, oc, p, arch)
+				assertSameOutcome(t, s.Name, arch.Name, oc, got, gotErr, want, wantErr)
+			}
+		}
+	}
+}
+
+// TestEvaluatorValidationErrors: the compiled path must preserve the
+// validation contract and ordering of the pre-rewrite Run — workload
+// first, then OC, then params.
+func TestEvaluatorValidationErrors(t *testing.T) {
+	m := New()
+	ref := NewReference()
+	arch, err := gpu.ByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stencil.Star(2, 1)
+	good := DefaultWorkload(s)
+	badW := good
+	badW.TimeSteps = 0
+	okP := opt.Params{BlockX: 64, BlockY: 2, Merge: 1, Unroll: 1}
+
+	cases := []struct {
+		name string
+		w    Workload
+		oc   opt.Opt
+		p    opt.Params
+	}{
+		{"bad workload", badW, 0, okP},
+		{"bad oc", good, opt.RT, okP},
+		{"bad params", good, 0, opt.Params{BlockX: 3, BlockY: 2, Merge: 1, Unroll: 1}},
+		{"bad workload and oc", badW, opt.BM | opt.CM, okP},
+	}
+	for _, c := range cases {
+		_, gotErr := m.Run(c.w, c.oc, c.p, arch)
+		_, wantErr := ref.Run(c.w, c.oc, c.p, arch)
+		if gotErr == nil || wantErr == nil {
+			t.Fatalf("%s: expected errors, got evaluator=%v reference=%v", c.name, gotErr, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: error %q != reference %q", c.name, gotErr, wantErr)
+		}
+	}
+}
+
+// TestPackSampleInjective: distinct validated samples must pack to
+// distinct keys (the collision-freedom invariant the string runKey
+// documented, survived into the packing). Sampled pairs over every OC are
+// compared pairwise via a map from packed key to sample identity.
+func TestPackSampleInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type sample struct {
+		oc opt.Opt
+		p  opt.Params
+	}
+	seen := make(map[uint64]sample)
+	for _, dims := range []int{2, 3} {
+		for _, oc := range opt.Combinations() {
+			for k := 0; k < 200; k++ {
+				p := opt.Sample(oc, dims, rng)
+				key, ok := packSample(oc, p)
+				if !ok {
+					t.Fatalf("sampled valid params not packable: %s %+v", oc, p)
+				}
+				if prev, dup := seen[key]; dup && (prev.oc != oc || prev.p != p) {
+					t.Fatalf("pack collision: %s %+v and %s %+v -> %x", prev.oc, prev.p, oc, p, key)
+				}
+				seen[key] = sample{oc: oc, p: p}
+			}
+		}
+	}
+	if len(seen) < 1000 {
+		t.Fatalf("sampling produced only %d distinct keys; test too weak", len(seen))
+	}
+}
+
+// TestPackSampleRejectsNonCanonical: values the packing cannot represent
+// are refused (and thus bypass the cache) rather than silently truncated.
+func TestPackSampleRejectsNonCanonical(t *testing.T) {
+	if _, ok := packSample(0, opt.Params{BlockX: 3}); ok {
+		t.Fatal("non-power-of-two BlockX packed")
+	}
+	if _, ok := packSample(0, opt.Params{BlockX: 64, BlockY: 2, Merge: -5, Unroll: 1}); ok {
+		t.Fatal("negative Merge packed")
+	}
+	if _, ok := packSample(opt.PR|opt.ST, opt.Params{BlockX: 64, BlockY: 2, Merge: 1, Unroll: 1, StreamTile: 32, StreamDim: 2, PrefetchDepth: 7}); ok {
+		t.Fatal("out-of-range PrefetchDepth packed")
+	}
+	// Merge 0 and Merge 1 are distinct cells (their noise keys differ) and
+	// must stay distinct after packing.
+	a, okA := packSample(0, opt.Params{BlockX: 64, BlockY: 2, Merge: 0, Unroll: 1})
+	b, okB := packSample(0, opt.Params{BlockX: 64, BlockY: 2, Merge: 1, Unroll: 1})
+	if !okA || !okB || a == b {
+		t.Fatalf("Merge 0 vs 1 not separated: %x vs %x (ok %v %v)", a, b, okA, okB)
+	}
+}
+
+// TestInlineGaussMatchesReference: the inline FNV resume in noiseFactor
+// must equal the variadic gauss the reference factor calls.
+func TestInlineGaussMatchesReference(t *testing.T) {
+	m := New()
+	ref := NewReference()
+	ref.DisableCache()
+	m.DisableCache()
+	arch, err := gpu.ByName("2080Ti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stencil.Box(3, 3)
+	w := DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(13))
+	ev, err := m.Evaluator(w, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range opt.Combinations() {
+		for k := 0; k < 8; k++ {
+			p := opt.Sample(oc, s.Dims, rng)
+			got, gotErr := ev.Eval(oc, p)
+			want, wantErr := ref.Run(w, oc, p, arch)
+			assertSameOutcome(t, s.Name, arch.Name, oc, got, gotErr, want, wantErr)
+		}
+	}
+}
+
+// TestAllocGateEvaluator is the zero-allocation contract of the compiled
+// per-sample path, enforced by check.sh: warm cache hits, cold cache
+// misses, and cache-disabled direct evaluations must all run the sample
+// loop without a single heap allocation.
+func TestAllocGateEvaluator(t *testing.T) {
+	arch, err := gpu.ByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stencil.Star(3, 2)
+	w := DefaultWorkload(s)
+	rng := rand.New(rand.NewSource(17))
+
+	// A spread of non-crashing samples: sampled settings under BASE and ST
+	// on a mid-order star never exceed V100 resources.
+	type sample struct {
+		oc opt.Opt
+		p  opt.Params
+	}
+	var samples []sample
+	for _, oc := range []opt.Opt{0, opt.ST, opt.BM, opt.ST | opt.PR} {
+		for k := 0; k < 8; k++ {
+			samples = append(samples, sample{oc: oc, p: opt.Sample(oc, s.Dims, rng)})
+		}
+	}
+
+	m := New()
+	ev, err := m.Evaluator(w, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range samples { // warm the cache; skip crashing samples
+		if _, err := ev.Eval(sm.oc, sm.p); err != nil {
+			t.Fatalf("alloc-gate sample crashed (%s %+v): %v", sm.oc, sm.p, err)
+		}
+	}
+	i := 0
+	if got := testing.AllocsPerRun(200, func() {
+		sm := samples[i%len(samples)]
+		i++
+		ev.Eval(sm.oc, sm.p)
+	}); got != 0 {
+		t.Errorf("warm cache-hit Eval allocates %v allocs/op, want 0", got)
+	}
+
+	plain := New()
+	plain.DisableCache()
+	evPlain, err := plain.Evaluator(w, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i = 0
+	if got := testing.AllocsPerRun(200, func() {
+		sm := samples[i%len(samples)]
+		i++
+		evPlain.Eval(sm.oc, sm.p)
+	}); got != 0 {
+		t.Errorf("cache-disabled Eval allocates %v allocs/op, want 0", got)
+	}
+}

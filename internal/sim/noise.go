@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math"
 	"sync"
 
@@ -184,31 +182,54 @@ func paramsKey(p opt.Params) string {
 	return string(b[:])
 }
 
+// FNV-1a 64-bit constants, inlined so the compiled evaluation path can
+// hash without allocating a hash.Hash64 per lookup. fnv1aByte/fnv1aString
+// advance a running state exactly as hash/fnv's sum64a.Write does, so any
+// split of one byte sequence across calls produces the digest a single
+// fnv.New64a().Write of the concatenation would.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1aByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnv1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// boxMullerFrom turns a finished FNV-1a state into a standard-normal
+// deviate: two uniforms from disjoint hash halves (the second re-hashed
+// for independence), then the Box-Muller transform.
+func boxMullerFrom(x uint64) float64 {
+	h2 := uint64(fnvOffset64)
+	for shift := uint(0); shift < 64; shift += 8 {
+		h2 = fnv1aByte(h2, byte(x>>shift))
+	}
+	y := h2
+	u1 := (float64(x>>11) + 0.5) / (1 << 53)
+	u2 := (float64(y>>11) + 0.5) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
 // gauss maps a composite key to a standard-normal deviate via FNV-1a
 // hashing and the Box-Muller transform.
 func gauss(parts ...interface{}) float64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := uint64(fnvOffset64)
 	for _, p := range parts {
 		switch v := p.(type) {
 		case string:
-			h.Write([]byte(v))
-			h.Write([]byte{0})
+			h = fnv1aString(h, v)
+			h = fnv1aByte(h, 0)
 		case byte:
-			h.Write([]byte{v, 0})
+			h = fnv1aByte(h, v)
+			h = fnv1aByte(h, 0)
 		default:
 			panic("sim: unsupported gauss key type")
 		}
 	}
-	x := h.Sum64()
-	// Derive two uniforms from disjoint hash halves, re-hashed for
-	// independence.
-	binary.LittleEndian.PutUint64(buf[:], x)
-	h2 := fnv.New64a()
-	h2.Write(buf[:])
-	y := h2.Sum64()
-
-	u1 := (float64(x>>11) + 0.5) / (1 << 53)
-	u2 := (float64(y>>11) + 0.5) / (1 << 53)
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return boxMullerFrom(h)
 }

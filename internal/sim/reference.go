@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+)
+
+// Reference is the pre-rewrite evaluation path, preserved verbatim: full
+// per-call validation, the string-keyed sharded map cache, a fresh noise
+// projection per run. It exists so the compiled CellEvaluator path can be
+// proven invisible — the differential suite asserts Model and Reference
+// produce bitwise-identical Results, datasets and serve outputs — and so
+// the collection-throughput benchmarks have an honest pre-rewrite
+// baseline (cache included) to measure speedups against.
+type Reference struct {
+	noise NoiseConfig
+	cache *legacyCache
+}
+
+// NewReference returns the pre-rewrite oracle with the default noise
+// configuration and a string-keyed memoization cache of
+// DefaultCacheEntries evaluations, exactly as Model.Run shipped before
+// evaluator compilation.
+func NewReference() *Reference {
+	return &Reference{noise: DefaultNoise(), cache: newLegacyCache(DefaultCacheEntries)}
+}
+
+// NewReferenceWithNoise returns the pre-rewrite oracle with a custom
+// noise configuration.
+func NewReferenceWithNoise(n NoiseConfig) *Reference {
+	return &Reference{noise: n, cache: newLegacyCache(DefaultCacheEntries)}
+}
+
+// DisableCache removes the memoization cache; every Run recomputes.
+func (m *Reference) DisableCache() { m.cache = nil }
+
+// Run is the pre-rewrite Model.Run, byte for byte: validate everything,
+// consult the string-keyed cache, price the cell, layer noise computed
+// from scratch. *Reference implements Runner.
+func (m *Reference) Run(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := oc.ValidationError(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(oc, w.S.Dims); err != nil {
+		return Result{}, err
+	}
+
+	var key string
+	if m.cache != nil {
+		key = runKey(w, oc, p, arch)
+		if e, ok := m.cache.get(key); ok {
+			return e.res, e.err
+		}
+	}
+
+	res := resourceUsage(w, oc, p, arch)
+	if err := res.check(arch, w, oc, p); err != nil {
+		// Crashes are deterministic per cell and re-sampled constantly by
+		// equal-budget searches, so they are worth memoizing too.
+		if m.cache != nil {
+			m.cache.put(key, cacheEntry{err: err})
+		}
+		return Result{}, err
+	}
+
+	occ := occupancy(res, p, arch)
+	t := timeBreakdown(w, oc, p, arch, res, occ, stencilGeom(w.S))
+
+	r := Result{
+		Compute:        t.compute,
+		Memory:         t.memory,
+		Sync:           t.sync,
+		Launch:         t.launch,
+		Occupancy:      occ,
+		RegsPerThread:  res.regs,
+		SmemPerBlockKB: res.smemBytes / 1024,
+		SpillBytes:     res.spillBytes,
+	}
+	base := t.compute + t.memory + t.sync + t.launch
+	r.Time = base * m.noise.factor(w.S, oc, p, arch)
+	if m.cache != nil {
+		m.cache.put(key, cacheEntry{res: r})
+	}
+	return r, nil
+}
+
+var _ Runner = (*Reference)(nil)
+
+// legacyShard and legacyCache are the pre-rewrite sharded map cache:
+// string keys, one map per shard, an fnv.New32a hasher allocated per
+// lookup, arbitrary map-iteration eviction. Kept only behind Reference.
+type legacyShard struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+type legacyCache struct {
+	perShard               int
+	hits, misses, evictRun atomic.Uint64
+	shards                 [cacheShards]legacyShard
+}
+
+func newLegacyCache(capacity int) *legacyCache {
+	if capacity < 1 {
+		capacity = DefaultCacheEntries
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &legacyCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+func (c *legacyCache) shard(key string) *legacyShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&(cacheShards-1)]
+}
+
+func (c *legacyCache) get(key string) (cacheEntry, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *legacyCache) put(key string, e cacheEntry) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, ok := s.m[key]; !ok {
+		if len(s.m) >= c.perShard {
+			// Evict an arbitrary entry (map iteration order). Values are
+			// deterministic functions of their keys, so eviction choice
+			// affects only the hit rate — never a computed result.
+			for k := range s.m {
+				delete(s.m, k)
+				c.evictRun.Add(1)
+				break
+			}
+		}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+}
+
+// archKeys caches the per-architecture key segment: gpu.Arch is a
+// comparable value struct, so identical specs share one digest and a
+// user-modified Arch (even one reusing a catalog name) keys separately.
+var archKeys sync.Map // gpu.Arch -> string
+
+func archKey(a gpu.Arch) string {
+	if v, ok := archKeys.Load(a); ok {
+		return v.(string)
+	}
+	b := make([]byte, 0, len(a.Name)+len(a.Generation)+2+11*8)
+	b = append(b, a.Name...)
+	b = append(b, 0)
+	b = append(b, a.Generation...)
+	b = append(b, 0)
+	for _, f := range []float64{
+		a.MemGB, a.MemBWGBs, float64(a.SMs), a.TFLOPS, a.RentalPerHour,
+		float64(a.RegsPerSM), float64(a.SmemPerSMKB), float64(a.MaxThreadsPerSM),
+		float64(a.MaxRegsPerThread), a.L2MB, a.ClockGHz,
+	} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		b = append(b, buf[:]...)
+	}
+	k := string(b)
+	archKeys.Store(a, k)
+	return k
+}
+
+// runKey canonicalizes one evaluation cell. Unlike the noise paramsKey
+// (whose byte truncation only perturbs noise), every field here is
+// encoded collision-free: a key collision would return a wrong result.
+// It remains the canonical per-site identity for wrappers that need
+// stable string keys (the deterministic fault injector via RunKey); the
+// run cache itself now keys on the packed evalKey.
+func runKey(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) string {
+	ak := archKey(arch)
+	b := make([]byte, 0, 1+3*len(w.S.Points)+4*4+1+2*10+1+len(ak))
+	b = append(b, patternKey(w.S)...)
+	var u [4]byte
+	for _, v := range [...]int{w.GridX, w.GridY, w.GridZ, w.TimeSteps} {
+		binary.LittleEndian.PutUint32(u[:], uint32(v))
+		b = append(b, u[:]...)
+	}
+	b = append(b, byte(oc))
+	for _, v := range [...]int{p.BlockX, p.BlockY, p.Merge, p.MergeDim,
+		p.StreamTile, p.StreamDim, p.Unroll, p.TBDepth, p.PrefetchDepth} {
+		b = append(b, byte(v), byte(v>>8))
+	}
+	if p.UseSmem {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, ak...)
+	return string(b)
+}

@@ -22,6 +22,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"stencilmart/internal/gpu"
 	"stencilmart/internal/opt"
@@ -105,9 +106,20 @@ type Result struct {
 // Model evaluates workloads on simulated architectures. The zero value is
 // not usable; construct with New. Models are safe for concurrent use:
 // the memoization cache is sharded and the noise tables are lock-free.
+//
+// Evaluation compiles: the first touch of a (workload, stencil, arch)
+// cell builds a CellEvaluator holding every sample-invariant precompute,
+// and Run dispatches through it. Hot consumers skip even that dispatch by
+// holding the evaluator (Model.Evaluator / Model.CellFn) across their
+// sample loops.
 type Model struct {
 	noise NoiseConfig
 	cache *runCache
+
+	// evalMu guards the compiled-evaluator table and the cell id counter.
+	evalMu   sync.Mutex
+	evals    map[string]*CellEvaluator
+	nextCell uint32
 }
 
 // New returns a model with the default noise configuration and a
@@ -142,54 +154,19 @@ func (m *Model) CacheStats() CacheStats {
 // Run simulates the workload under the OC and parameter setting on the
 // architecture. It returns ErrCrash or ErrInvalidConfig (wrapped) when the
 // kernel cannot run.
+//
+// Run is the compatibility entry point: it compiles (and caches) the
+// cell's evaluator on first touch and dispatches the sample through it.
+// Results are bitwise-identical to the pre-rewrite path (see Reference
+// and the differential suite). Sample loops over a fixed cell should
+// hold Model.Evaluator / Model.CellFn instead and skip the per-call cell
+// resolution entirely.
 func (m *Model) Run(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch) (Result, error) {
-	if err := w.Validate(); err != nil {
+	ev, err := m.Evaluator(w, arch)
+	if err != nil {
 		return Result{}, err
 	}
-	if err := oc.ValidationError(); err != nil {
-		return Result{}, err
-	}
-	if err := p.Validate(oc, w.S.Dims); err != nil {
-		return Result{}, err
-	}
-
-	var key string
-	if m.cache != nil {
-		key = runKey(w, oc, p, arch)
-		if e, ok := m.cache.get(key); ok {
-			return e.res, e.err
-		}
-	}
-
-	res := resourceUsage(w, oc, p, arch)
-	if err := res.check(arch, w, oc, p); err != nil {
-		// Crashes are deterministic per cell and re-sampled constantly by
-		// equal-budget searches, so they are worth memoizing too.
-		if m.cache != nil {
-			m.cache.put(key, cacheEntry{err: err})
-		}
-		return Result{}, err
-	}
-
-	occ := occupancy(res, p, arch)
-	t := timeBreakdown(w, oc, p, arch, res, occ)
-
-	r := Result{
-		Compute:        t.compute,
-		Memory:         t.memory,
-		Sync:           t.sync,
-		Launch:         t.launch,
-		Occupancy:      occ,
-		RegsPerThread:  res.regs,
-		SmemPerBlockKB: res.smemBytes / 1024,
-		SpillBytes:     res.spillBytes,
-	}
-	base := t.compute + t.memory + t.sync + t.launch
-	r.Time = base * m.noise.factor(w.S, oc, p, arch)
-	if m.cache != nil {
-		m.cache.put(key, cacheEntry{res: r})
-	}
-	return r, nil
+	return ev.Eval(oc, p)
 }
 
 // BestOf runs every setting and returns the shortest time, skipping
@@ -202,8 +179,9 @@ func (m *Model) BestOf(w Workload, oc opt.Opt, settings []opt.Params, arch gpu.A
 		found   bool
 		lastErr error
 	)
+	eval := m.CellFn(w, arch)
 	for _, p := range settings {
-		r, err := m.Run(w, oc, p, arch)
+		r, err := eval(oc, p)
 		if err != nil {
 			lastErr = err
 			continue

@@ -68,20 +68,27 @@ func archCompBoost(arch gpu.Arch) float64 {
 // architecture sustains on 2-D and 3-D stencil sweeps. These stand in for
 // unmodeled DRAM/cache behavior and are the knobs that reproduce the
 // paper's observation that stencil performance is not proportional to
-// paper specs (Sec. III-D).
+// paper specs (Sec. III-D). A switch, not a map literal: this sits on the
+// per-run hot path and must not allocate.
 func archMemEff(arch gpu.Arch, dims int) float64 {
-	type key struct {
-		name string
-		dims int
-	}
-	eff := map[key]float64{
-		{"P100", 2}: 0.84, {"P100", 3}: 0.76,
-		{"V100", 2}: 0.90, {"V100", 3}: 0.82,
-		{"2080Ti", 2}: 0.85, {"2080Ti", 3}: 1.02,
-		{"A100", 2}: 0.50, {"A100", 3}: 0.50,
-	}
-	if e, ok := eff[key{arch.Name, dims}]; ok {
-		return e
+	switch arch.Name {
+	case "P100":
+		if dims == 2 {
+			return 0.84
+		}
+		return 0.76
+	case "V100":
+		if dims == 2 {
+			return 0.90
+		}
+		return 0.82
+	case "2080Ti":
+		if dims == 2 {
+			return 0.85
+		}
+		return 1.02
+	case "A100":
+		return 0.50
 	}
 	return 0.8
 }
@@ -116,8 +123,28 @@ func planeLineCount(s stencil.Stencil, streamDim int) int {
 	return stencil.PlaneLineCount(s, streamDim)
 }
 
-// timeBreakdown computes the noiseless execution-time terms.
-func timeBreakdown(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch, res resources, occ float64) breakdown {
+// geom is the stencil's footprint geometry, precomputed once per cell by
+// the compiled evaluator (and on the fly by the reference path) so
+// timeBreakdown never rescans the point set per sample. plane is indexed
+// by the 1-based streaming dimension; index 0 is unused.
+type geom struct {
+	line  int
+	plane [4]int
+}
+
+func stencilGeom(s stencil.Stencil) geom {
+	g := geom{line: lineCount(s)}
+	for d := 1; d <= 3; d++ {
+		g.plane[d] = planeLineCount(s, d)
+	}
+	return g
+}
+
+// timeBreakdown computes the noiseless execution-time terms. The caller
+// supplies the stencil geometry so compiled evaluators can amortize it
+// across samples; both paths share this one arithmetic body, which is
+// what makes the compiled results bitwise-identical by construction.
+func timeBreakdown(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch, res resources, occ float64, g geom) breakdown {
 	s := w.S
 	points := w.Points()
 	r := float64(s.Order())
@@ -148,10 +175,10 @@ func timeBreakdown(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch, res reso
 		// Register streaming without smem: the thread's own column is
 		// reused; neighbor lines are re-fetched each plane at half the
 		// naive miss cost (L1 catches the rest).
-		pl := float64(planeLineCount(s, p.StreamDim))
+		pl := float64(g.plane[p.StreamDim])
 		readFactor = 1 + 0.5*alpha*(pl-1)
 	default:
-		l := float64(lineCount(s))
+		l := float64(g.line)
 		if m := float64(p.Merge); m > 1 {
 			share := mergeShareBM
 			if oc.Has(opt.CM) {
@@ -195,7 +222,7 @@ func timeBreakdown(w Workload, oc opt.Opt, p opt.Params, arch gpu.Arch, res reso
 
 	// --- Effective bandwidth. ---
 	memEff := archMemEff(arch, s.Dims) * (0.5 + 0.5*occ)
-	if lineCount(s) <= smallLineThreshold(s.Dims) {
+	if g.line <= smallLineThreshold(s.Dims) {
 		memEff *= archCacheBoost(arch)
 	}
 	if oc.Has(opt.BM) && p.MergeDim == 1 {

@@ -1,0 +1,61 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stencilmart/internal/gpu"
+	"stencilmart/internal/opt"
+	"stencilmart/internal/sim"
+	"stencilmart/internal/stencil"
+)
+
+// referenceRandomTune is the pre-rewrite Random.Tune, evaluated on the
+// pre-rewrite substrate: same rng consumption, same skip-on-error loop,
+// with every sample priced by sim.Reference instead of the compiled
+// evaluator.
+func referenceRandomTune(ref *sim.Reference, w sim.Workload, oc opt.Opt, arch gpu.Arch, budget int, seed int64) (Result, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	best := Result{Time: math.Inf(1)}
+	for i := 0; i < budget; i++ {
+		p := opt.Sample(oc, w.S.Dims, rng)
+		r, err := ref.Run(w, oc, p, arch)
+		best.Evaluations++
+		if err != nil {
+			continue
+		}
+		if r.Time < best.Time {
+			best.Time = r.Time
+			best.Params = p
+		}
+	}
+	return best, !math.IsInf(best.Time, 1)
+}
+
+// TestRandomTuneMatchesReference: tuning through the compiled evaluator
+// returns bitwise-identical winners to the pre-rewrite search — the
+// serve-path tuner (core.ServePredict drives tuner.Random) cannot drift.
+func TestRandomTuneMatchesReference(t *testing.T) {
+	m := sim.New()
+	ref := sim.NewReference()
+	for _, s := range []stencil.Stencil{stencil.Star(2, 2), stencil.Box(3, 1), stencil.Star(3, 4)} {
+		w := sim.DefaultWorkload(s)
+		for _, arch := range gpu.Catalog() {
+			for _, oc := range []opt.Opt{0, opt.ST, opt.ST | opt.TB, opt.BM | opt.TB, opt.ST | opt.RT | opt.PR} {
+				seed := int64(1000*int(oc) + len(s.Name))
+				got, err := (Random{}).Tune(m, w, oc, arch, 24, seed)
+				want, ok := referenceRandomTune(ref, w, oc, arch, 24, seed)
+				if (err == nil) != ok {
+					t.Fatalf("%s %s on %s: outcome disagreement: err=%v ok=%v", s.Name, oc, arch.Name, err, ok)
+				}
+				if !ok {
+					continue
+				}
+				if math.Float64bits(got.Time) != math.Float64bits(want.Time) || got.Params != want.Params || got.Evaluations != want.Evaluations {
+					t.Fatalf("%s %s on %s: tuned result differs:\n compiled  %+v\n reference %+v", s.Name, oc, arch.Name, got, want)
+				}
+			}
+		}
+	}
+}

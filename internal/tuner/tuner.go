@@ -47,10 +47,11 @@ func (Random) Tune(m *sim.Model, w sim.Workload, oc opt.Opt, arch gpu.Arch, budg
 		return Result{}, fmt.Errorf("tuner: random budget %d < 1", budget)
 	}
 	rng := rand.New(rand.NewSource(seed))
+	eval := m.CellFn(w, arch)
 	best := Result{Time: math.Inf(1)}
 	for i := 0; i < budget; i++ {
 		p := opt.Sample(oc, w.S.Dims, rng)
-		r, err := m.Run(w, oc, p, arch)
+		r, err := eval(oc, p)
 		best.Evaluations++
 		if err != nil {
 			continue
@@ -120,8 +121,9 @@ func (g Genetic) Tune(m *sim.Model, w sim.Workload, oc opt.Opt, arch gpu.Arch, b
 	rng := rand.New(rand.NewSource(seed))
 
 	evals := 0
+	eval := m.CellFn(w, arch)
 	evaluate := func(p opt.Params) individual {
-		r, err := m.Run(w, oc, p, arch)
+		r, err := eval(oc, p)
 		evals++
 		if err != nil {
 			return individual{p: p, time: math.Inf(1)}

@@ -20,12 +20,13 @@ go test -shuffle=on ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== alloc gate (f32 lane) =="
-# The zero-allocation contract of the float32 inference lane: compiled
-# tree/network scoring and the arena-backed serving encode path must
-# stay allocation-free once warm. AllocsPerRun is meaningless under
+echo "== alloc gate (f32 lane + sim evaluator) =="
+# The zero-allocation contracts: compiled tree/network scoring and the
+# arena-backed serving encode path (f32 lane), and the simulator's
+# compiled per-sample evaluation path — warm cache hits and
+# cache-disabled evaluations alike. AllocsPerRun is meaningless under
 # -race, so this is a separate plain run.
-go test -run AllocGate ./internal/linalg/ ./internal/ml/tree/ ./internal/ml/nn/ ./internal/core/
+go test -run AllocGate ./internal/linalg/ ./internal/ml/tree/ ./internal/ml/nn/ ./internal/core/ ./internal/sim/
 
 echo "== bench smoke (race) =="
 # One iteration of every kernel/training benchmark under the race
@@ -33,6 +34,13 @@ echo "== bench smoke (race) =="
 # tree trainer, and the request coalescer execute their parallel paths
 # cleanly, without paying for a full benchmark run.
 go test -race -run='^$' -bench=. -benchtime=1x ./internal/linalg/ ./internal/ml/nn/ ./internal/ml/tree/ ./internal/serve/batch/
+
+echo "== sim bench smoke =="
+# One pass of the collection-throughput harness on the smoke preset:
+# proves the compiled-evaluator and reference substrates both collect,
+# and that the report pipeline (cells/sec, allocs/cell, speedup) works.
+# The real before/after numbers live in BENCH_sim.json (make bench-sim).
+sh scripts/sim_bench.sh /tmp/bench_sim_smoke.json smoke 1
 
 echo "== serve smoke =="
 # Train a tiny checkpoint, serve it on a random port, and exercise

@@ -1,0 +1,23 @@
+#!/bin/sh
+# sim_bench.sh — the simulator-throughput benchmark harness: measure
+# corpus-collection throughput (cells/sec, allocs/cell) on the
+# pre-rewrite reference substrate and the compiled-evaluator substrate,
+# serial and parallel, and write the comparison report. The compiled
+# rows must clear >= 3x the reference cells/sec on the default preset —
+# the bar BENCH_sim.json records.
+#
+# Run from the repository root:
+#
+#   sh scripts/sim_bench.sh [output.json] [preset] [reps]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sim.json}"
+preset="${2:-default}"
+reps="${3:-3}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/stencilmart" ./cmd/stencilmart
+"$tmp/stencilmart" simbench -preset "$preset" -reps "$reps" -out "$out"
